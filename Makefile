@@ -1,0 +1,24 @@
+# Convenience targets for the GE-SpMM reproduction.
+
+.PHONY: install test bench examples artifacts clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for s in examples/*.py; do echo "== $$s"; python $$s || exit 1; done
+
+# The two artifact files DESIGN/EXPERIMENTS reference.
+artifacts:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,41 @@
+"""Ablation — why CRC helps Pascal but not Turing (L1 policy what-if).
+
+The paper observes (Fig. 8) that CRC alone yields 1.246x on GTX 1080Ti
+but only 1.011x on RTX 2080, and attributes the machine difference to
+architecture.  Our model makes the cause explicit: Turing's unified L1
+caches global loads and already filters Algorithm 1's broadcast
+re-reads.  This ablation runs the *same* Pascal device with the L1
+global-caching flag toggled: with the flag on, CRC's advantage should
+collapse toward 1x — isolating the mechanism.
+"""
+
+from repro.bench import comparison, geomean, render_claims, run_sweep, speedup_series
+from repro.core import CRCSpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI
+
+N = 512
+
+
+def test_ablation_l1_policy(benchmark, emit, snap_suite):
+    pascal = GTX_1080TI
+    pascal_l1 = GTX_1080TI.scaled(name="GTX 1080Ti (+L1 global)", l1_caches_global=True)
+    kernels = [SimpleSpMM(), CRCSpMM()]
+    results = benchmark.pedantic(
+        run_sweep, args=(kernels, snap_suite, [N], [pascal, pascal_l1]), rounds=1, iterations=1
+    )
+    gains = {}
+    for gpu in (pascal, pascal_l1):
+        series = speedup_series(results, "crc", "simple", gpu.name, N)
+        gains[gpu.name] = geomean(series.values())
+    table = "\n".join(f"  {name:28s} CRC speedup (geomean) = {v:.3f}" for name, v in gains.items())
+    claims = [
+        comparison("CRC gain without L1 global caching", "clear gain (Pascal behaviour)",
+                   f"{gains[pascal.name]:.3f}x", gains[pascal.name] > 1.08),
+        comparison("CRC gain with L1 global caching", "~1.0x (Turing behaviour)",
+                   f"{gains[pascal_l1.name]:.3f}x", gains[pascal_l1.name] < 1.1),
+    ]
+    assert gains[pascal.name] > 1.08
+    assert gains[pascal_l1.name] < 1.1
+    assert gains[pascal.name] > gains[pascal_l1.name] + 0.05
+    emit("ablation_l1_policy", f"L1 policy ablation (N={N}):\n{table}\n\n"
+         + render_claims(claims, "mechanism check"))

@@ -1,0 +1,66 @@
+"""Extension — sampled minibatch GraphSAGE training, end to end.
+
+Combines the sampling substrate with the GNN engine: an actual
+minibatch-training loop (fresh block per step, feature gathering, Adam)
+profiled under the stock DGL backend vs the GE-SpMM swap-in.  This is
+the end-to-end form of the paper's Section II-B scenario, beyond the
+kernel-level pricing in ``bench_ext_sampling.py``.
+"""
+
+import numpy as np
+
+from repro.bench import comparison, format_table, render_claims
+from repro.gnn import DGLBackend, SimDevice, train_minibatch
+from repro.gpusim import GTX_1080TI, RTX_2080
+
+BATCHES = 12
+
+
+def run(citation_datasets, gpus):
+    rows = []
+    agg_speedups = []
+    for name, ds in citation_datasets.items():
+        for gpu in gpus:
+            results = {}
+            for use_ge in (False, True):
+                backend = DGLBackend(SimDevice(gpu), use_gespmm=use_ge)
+                results[use_ge] = train_minibatch(
+                    ds, backend, batch_size=128, fanout=10, n_batches=BATCHES, seed=3
+                )
+            stock, ge = results[False], results[True]
+            agg = stock.profile.time("SpMM") / max(ge.profile.time("SpMM"), 1e-12)
+            agg_speedups.append(agg)
+            rows.append(
+                (
+                    name,
+                    gpu.name,
+                    f"{stock.profile.total_time * 1e3:.3f}",
+                    f"{ge.profile.total_time * 1e3:.3f}",
+                    f"{agg:.2f}x",
+                    f"{ge.accuracy:.2f}",
+                )
+            )
+            # The numerics must be identical either way.
+            np.testing.assert_allclose(stock.losses, ge.losses, rtol=1e-5)
+    return rows, agg_speedups
+
+
+def test_ext_minibatch_training(benchmark, emit, citation_datasets, gpus):
+    rows, agg_speedups = benchmark.pedantic(
+        run, args=(citation_datasets, gpus), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["dataset", "GPU", "DGL total (ms)", "DGL+GE total (ms)", "agg speedup", "train acc"],
+        rows,
+        title=f"Sampled GraphSAGE minibatch training ({BATCHES} batches, batch=128, fanout=10)",
+    )
+    claims = [
+        comparison("GE-SpMM speeds sampled aggregation", "CSR-native wins on fresh blocks",
+                   f"aggregation speedups {min(agg_speedups):.2f}x-{max(agg_speedups):.2f}x",
+                   min(agg_speedups) > 1.0),
+    ]
+    # Tiny sampled blocks are launch-bound, so dropping the per-call
+    # cuSPARSE transpose kernel (one extra launch per aggregation) is a
+    # large relative win here.
+    assert min(agg_speedups) > 1.0
+    emit("ext_minibatch_training", table + "\n\n" + render_claims(claims, "scenario check"))

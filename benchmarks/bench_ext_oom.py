@@ -1,0 +1,62 @@
+"""Extension — paper-scale memory limits (the omitted bars).
+
+The paper omits FriendSter and Twitter "due to out-of-memory" and marks
+several per-matrix bars "out of memory" in Figs 8/9/11 — more on the
+8 GB RTX 2080 than the 11 GB GTX 1080Ti.  Using the footprint model we
+re-derive which catalog matrices would OOM at *paper scale* (unscaled
+sizes) for N=512, and verify the machine asymmetry.
+"""
+
+from repro.bench import comparison, format_table, render_claims
+from repro.datasets import SNAP_CATALOG
+from repro.gpusim import GTX_1080TI, RTX_2080, fits, spmm_footprint
+
+
+class _Shell:
+    """Footprints need only (nrows, ncols, nnz); avoid materializing the
+    paper-scale matrices (up to 69M nonzeros)."""
+
+    def __init__(self, entry):
+        self.nrows = self.ncols = entry.m
+        self.nnz = entry.nnz
+        self.name = entry.name
+
+
+def run():
+    rows = []
+    oom = {GTX_1080TI.name: [], RTX_2080.name: []}
+    for entry in sorted(SNAP_CATALOG, key=lambda e: e.name):
+        shell = _Shell(entry)
+        fp = spmm_footprint(shell, 512)
+        marks = []
+        for gpu in (GTX_1080TI, RTX_2080):
+            ok = fits(shell, 512, gpu)
+            if not ok:
+                oom[gpu.name].append(entry.name)
+            marks.append("fits" if ok else "OOM")
+        if "OOM" in marks:
+            rows.append((entry.name, f"{fp.total / 2**30:.2f} GiB", *marks))
+    return rows, oom
+
+
+def test_ext_paper_scale_oom(benchmark, emit):
+    rows, oom = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["matrix (paper scale)", "SpMM working set", GTX_1080TI.name, RTX_2080.name],
+        rows,
+        title="Out-of-memory matrices at N=512, unscaled catalog sizes",
+    )
+    n1080 = len(oom[GTX_1080TI.name])
+    n2080 = len(oom[RTX_2080.name])
+    claims = [
+        comparison("some large matrices OOM", "paper marks OOM bars in Figs 8/9/11",
+                   f"{n2080} on RTX 2080, {n1080} on GTX 1080Ti", n2080 > 0),
+        comparison("8 GB card OOMs more than 11 GB card", "more OOM marks on RTX 2080",
+                   f"{n2080} > {n1080}", n2080 > n1080),
+        comparison("giants among them", "soc-LiveJournal1 et al. stress memory",
+                   "soc-LiveJournal1 OOM on both", "soc-LiveJournal1" in oom[GTX_1080TI.name]),
+    ]
+    assert n2080 > n1080 > 0
+    assert "soc-LiveJournal1" in oom[RTX_2080.name]
+    assert 3 <= n2080 <= 10  # the paper shows a handful, not dozens
+    emit("ext_paper_scale_oom", table + "\n\n" + render_claims(claims, "memory-limit check"))

@@ -1,0 +1,50 @@
+"""Figure 7(c) — adaptive method choice as a function of N.
+
+Paper setup (Section IV-A): average performance of Algorithm 1, 2 (CRC)
+and 3 (CRC+CWM) over the test dataset at N=16 and N=64, normalized to
+Algorithm 1.
+
+Paper result: at N=16, CRC helps but adding CWM does not (there is no
+second warp to merge and the extra instructions only cost); at N=64 the
+combination is clearly best.  Hence the runtime rule: N <= 32 -> CRC,
+N > 32 -> CRC+CWM(CF=2) — which is exactly what ``GESpMM.select`` does.
+"""
+
+from repro.bench import comparison, format_table, geomean, render_claims, run_sweep, speedup_series
+from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI
+
+
+def test_fig7c_adaptive(benchmark, emit, snap_suite):
+    kernels = [SimpleSpMM(), CRCSpMM(), CWMSpMM(2)]
+    results = benchmark.pedantic(
+        run_sweep, args=(kernels, snap_suite, [16, 64], [GTX_1080TI]), rounds=1, iterations=1
+    )
+    rows = []
+    norm = {}
+    for n in (16, 64):
+        crc = geomean(speedup_series(results, "crc", "simple", GTX_1080TI.name, n).values())
+        cwm = geomean(speedup_series(results, "crc+cwm(cf=2)", "simple", GTX_1080TI.name, n).values())
+        norm[n] = (1.0, crc, cwm)
+        rows.append((f"N={n}", "1.000", f"{crc:.3f}", f"{cwm:.3f}"))
+    table = format_table(
+        ["", "Alg.1", "Alg.2 (CRC)", "Alg.3 (CRC+CWM)"],
+        rows,
+        title=f"Fig 7(c) reproduction: normalized average performance ({GTX_1080TI.name})",
+    )
+
+    claims = [
+        comparison("N=16: CWM not worthwhile", "Alg3 <= Alg2 at N<=32",
+                   f"CRC {norm[16][1]:.2f} vs CRC+CWM {norm[16][2]:.2f}",
+                   norm[16][2] <= norm[16][1] * 1.02),
+        comparison("N=64: CWM clearly best", "Alg3 > Alg2",
+                   f"CRC {norm[64][1]:.2f} vs CRC+CWM {norm[64][2]:.2f}",
+                   norm[64][2] > norm[64][1]),
+    ]
+    # At N=16 a CF=2 warp would cover 64 columns for 16 outputs: CWM must
+    # not win; at N=64 it must.  The adaptive kernel picks accordingly.
+    assert norm[16][2] <= norm[16][1] * 1.02
+    assert norm[64][2] > norm[64][1]
+    ge = GESpMM()
+    assert ge.select(16) is ge._crc and ge.select(64) is ge._cwm
+    emit("fig7c_adaptive", table + "\n\n" + render_claims(claims, "paper vs measured"))

@@ -1,0 +1,68 @@
+"""Table V — effects of Coalesced Row Caching on load metrics.
+
+Paper setup (Section V-B1): three synthetic uniform random graphs
+(M=16K/65K/262K, nnz = 10 x M, Ligra generator), N = 512, GTX 1080Ti;
+metrics gld_transactions (GLT) and gld_efficiency with and without CRC.
+
+Paper result: CRC cuts GLT by ~2.5x and lifts gld_efficiency from 68.95%
+to 92.40% on all three sizes.  Shape to reproduce: a large GLT reduction
+and an efficiency jump from ~70% to >90% (absolute transaction counts
+use our sector accounting — DESIGN.md §5).
+"""
+
+from repro.bench import comparison, format_table, render_claims
+from repro.core import CRCSpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI, profile_kernel
+from repro.sparse import uniform_random
+
+MATRICES = [(16_384, 163_840), (65_536, 655_360), (262_144, 2_621_440)]
+N = 512
+
+
+def build_rows():
+    rows = []
+    reports = {}
+    for m, nnz in MATRICES:
+        a = uniform_random(m, nnz, seed=42)
+        for kernel, tag in ((SimpleSpMM(), "w/o CRC"), (CRCSpMM(), "w/ CRC")):
+            rep = profile_kernel(kernel, a, N, GTX_1080TI)
+            reports[(m, tag)] = rep
+            rows.append(
+                (
+                    f"M={m // 1024}K nnz={nnz // 1000}K",
+                    tag,
+                    f"{rep.gld_transactions:.3e}",
+                    f"{rep.gld_efficiency * 100:.2f}%",
+                )
+            )
+    return rows, reports
+
+
+def test_table5_crc_effects(benchmark, emit):
+    rows, reports = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(["Matrix", "Method", "GLT(x32B)", "GLT effi"], rows,
+                         title=f"Table V reproduction (N={N}, {GTX_1080TI.name})")
+
+    claims = []
+    for m, nnz in MATRICES:
+        without = reports[(m, "w/o CRC")]
+        with_crc = reports[(m, "w/ CRC")]
+        ratio = without.gld_transactions / with_crc.gld_transactions
+        claims.append(
+            comparison(
+                f"M={m // 1024}K GLT reduction", "2.44x-2.46x", f"{ratio:.2f}x",
+                holds=ratio > 1.2,
+            )
+        )
+        claims.append(
+            comparison(
+                f"M={m // 1024}K efficiency", "68.95% -> 92.40%",
+                f"{without.gld_efficiency * 100:.1f}% -> {with_crc.gld_efficiency * 100:.1f}%",
+                holds=without.gld_efficiency < 0.8 < with_crc.gld_efficiency,
+            )
+        )
+        # The paper's efficiency numbers are size-independent; ours too.
+        assert with_crc.gld_efficiency > 0.85
+        assert without.gld_efficiency < 0.80
+        assert ratio > 1.2
+    emit("table5_crc_effects", table + "\n\n" + render_claims(claims, "paper vs measured"))

@@ -1,0 +1,81 @@
+"""Table VIII — GE-SpMM against ASpT, with and without preprocessing.
+
+Paper setup (Section V-E): ASpT (the best published SpMM, preprocess-
+based) on the SNAP dataset, N in {128, 256, 512}, both GPUs.  Two
+comparisons: kernel-only, and one-preprocess + one-run (the GNN
+inference / sampled-training scenario where preprocessing cannot be
+amortized).
+
+Paper result: kernel-only GE-SpMM reaches 0.85-1.00x of ASpT (slightly
+behind, approaching parity as N grows); with preprocessing counted,
+GE-SpMM is 1.43x-2.06x ahead.  Preprocess overhead averages 0.47x /
+0.34x of one SpMM and ranges 0.01x-64.5x.
+"""
+
+from repro.baselines import ASpTSpMM
+from repro.bench import comparison, format_table, geomean, render_claims
+from repro.core import GESpMM
+
+WIDTHS = [128, 256, 512]
+
+
+def sweep(snap_suite, gpus):
+    ge = GESpMM()
+    aspt = ASpTSpMM()
+    rows = {}
+    pre_ratios = {g.name: [] for g in gpus}
+    for gpu in gpus:
+        for n in WIDTHS:
+            kernel_only, with_pre = [], []
+            for name, a in snap_suite.items():
+                t_ge = ge.estimate(a, n, gpu).time_s
+                t_as = aspt.estimate(a, n, gpu).time_s
+                t_pre = aspt.preprocess_time(a, gpu)
+                kernel_only.append(t_as / t_ge)  # GE speed relative to ASpT
+                with_pre.append((t_as + t_pre) / t_ge)
+                if n == WIDTHS[-1]:
+                    pre_ratios[gpu.name].append(t_pre / t_as)
+            rows[(gpu.name, "ASpT", n)] = geomean(kernel_only)
+            rows[(gpu.name, "ASpT w/ preproc", n)] = geomean(with_pre)
+    return rows, pre_ratios
+
+
+def test_table8_aspt(benchmark, emit, snap_suite, gpus):
+    rows, pre_ratios = benchmark.pedantic(sweep, args=(snap_suite, gpus), rounds=1, iterations=1)
+    table_rows = []
+    claims = []
+    paper = {
+        ("GTX 1080Ti", "ASpT"): (0.93, 0.97, 1.00),
+        ("GTX 1080Ti", "ASpT w/ preproc"): (1.88, 1.97, 2.06),
+        ("RTX 2080", "ASpT"): (0.85, 0.93, 0.98),
+        ("RTX 2080", "ASpT w/ preproc"): (1.43, 1.57, 1.69),
+    }
+    for gpu in gpus:
+        for base in ("ASpT", "ASpT w/ preproc"):
+            meas = [rows[(gpu.name, base, n)] for n in WIDTHS]
+            table_rows.append((gpu.name, base, *(f"{v:.2f}" for v in meas)))
+            pp = paper[(gpu.name, base)]
+            if base == "ASpT":
+                ok = all(0.8 < v < 1.25 for v in meas)  # near parity kernel-only
+                claims.append(comparison(f"T8 {gpu.name} kernel-only",
+                                         "/".join(f"{p:.2f}" for p in pp),
+                                         "/".join(f"{v:.2f}" for v in meas), ok))
+                assert ok
+            else:
+                ok = all(v > 1.2 for v in meas)  # clear win once preprocess counts
+                claims.append(comparison(f"T8 {gpu.name} w/ preprocess",
+                                         "/".join(f"{p:.2f}" for p in pp),
+                                         "/".join(f"{v:.2f}" for v in meas), ok))
+                assert ok
+        avg_pre = geomean(pre_ratios[gpu.name])
+        lo, hi = min(pre_ratios[gpu.name]), max(pre_ratios[gpu.name])
+        claims.append(
+            comparison(f"preprocess overhead ({gpu.name})", "avg 0.47x/0.34x, range 0.01-64.5x",
+                       f"avg {avg_pre:.2f}x, range {lo:.2f}-{hi:.2f}x", 0.05 < avg_pre < 2.0)
+        )
+    table = format_table(
+        ["Machine", "Baseline"] + [f"N={n}" for n in WIDTHS],
+        table_rows,
+        title="Table VIII reproduction: GE-SpMM average speed against ASpT",
+    )
+    emit("table8_aspt", table + "\n\n" + render_claims(claims, "paper vs measured"))

@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+evaluation section: it prints the paper-style rows/series, writes them to
+``benchmarks/results/``, asserts the qualitative shape (who wins, by
+roughly what factor), and registers the run with pytest-benchmark.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline; they are always written to the results directory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_citation, load_suite
+from repro.gpusim import GTX_1080TI, RTX_2080
+
+#: nonzero cap for the scaled SNAP twins used in benchmark sweeps; keeps
+#: the full 64-graph x 3-N x 2-GPU sweep to seconds (see DESIGN.md §5).
+SNAP_MAX_NNZ = 120_000
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    d = Path(__file__).parent / "results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a named artifact and echo it to stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{'=' * 70}\n{name}\n{'=' * 70}\n{text}")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def gpus():
+    return [GTX_1080TI, RTX_2080]
+
+
+@pytest.fixture(scope="session")
+def snap_suite():
+    return load_suite(max_nnz=SNAP_MAX_NNZ)
+
+
+@pytest.fixture(scope="session")
+def citation_datasets():
+    return {name: load_citation(name) for name in ("cora", "citeseer", "pubmed")}
+
+
+@pytest.fixture(scope="session")
+def citation_graphs(citation_datasets):
+    """Normalized adjacencies — the actual SpMM operands in GNNs."""
+    return {name: ds.normalized_adjacency() for name, ds in citation_datasets.items()}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Attention-style GNN inference: SDDMM -> edge softmax -> SpMM.
+
+The paper closes by arguing that future GNN models need flexible sparse
+primitives beyond what vendor libraries ship; its successor project
+(dgSPARSE) pairs GE-SpMM with SDDMM for exactly this pipeline.  This
+example runs one GAT-style attention head over a citation twin:
+
+1. project features (GEMM);
+2. compute dot-product attention logits on the graph's edges (SDDMM);
+3. normalize per destination (edge softmax);
+4. aggregate with the attention weights (GE-SpMM).
+
+Every stage is functionally executed and priced on the simulated GPU.
+
+Run:  python examples/gat_attention.py
+"""
+
+import numpy as np
+
+from repro import GESpMM, GTX_1080TI
+from repro.core.sddmm import GESDDMM, edge_softmax
+from repro.datasets import load_cora
+from repro.gnn import SimDevice
+from repro.sparse import reference_spmm
+
+
+def main() -> None:
+    ds = load_cora()
+    adj = ds.graph.add_self_loops()
+    rng = np.random.default_rng(0)
+    d_model = 64
+
+    device = SimDevice(GTX_1080TI)
+    spmm = GESpMM()
+    sddmm = GESDDMM()
+
+    # 1. Projection (one attention head).
+    w = rng.standard_normal((ds.feature_dim, d_model)).astype(np.float32) * 0.05
+    h = ds.features @ w
+    device.record("GEMM", device.gemm_time(ds.n_nodes, ds.feature_dim, d_model))
+
+    # 2. Attention logits on edges: e_ij = <h_i, h_j> / sqrt(d).
+    logits = sddmm.run_xy(adj, h / np.sqrt(d_model), h)
+    device.record("SDDMM", sddmm.estimate(adj, d_model, GTX_1080TI).time_s)
+
+    # 3. Destination-wise softmax.
+    att = edge_softmax(logits)
+    device.record("edge_softmax", device.elementwise_time(adj.nnz, n_arrays=3))
+
+    # 4. Attention-weighted aggregation.
+    out = spmm.run(att, h)
+    device.record("SpMM", spmm.estimate(att, d_model, GTX_1080TI).time_s)
+
+    assert np.allclose(out, reference_spmm(att, h), atol=1e-3)
+    row_sums = np.zeros(adj.nrows)
+    np.add.at(row_sums, np.repeat(np.arange(adj.nrows), att.row_lengths()),
+              att.values.astype(np.float64))
+    assert np.allclose(row_sums, 1.0, rtol=1e-4), "softmax must normalize each node"
+
+    print(f"GAT-style head on {ds.name}: {adj.nnz} edges, d_model={d_model}")
+    print(f"output {out.shape}, attention rows sum to 1.0\n")
+    print("simulated device time per stage:")
+    print(device.profile().format())
+    sparse_share = (device.profile().share("SpMM") + device.profile().share("SDDMM")) * 100
+    print(f"\nSDDMM + SpMM take {sparse_share:.0f}% here (tiny graph: the dense")
+    print("projection still dominates); their share grows with graph size —")
+    print("the pair of sparse primitives the paper's line of work")
+    print("(GE-SpMM -> dgSPARSE) provides to frameworks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Mini SNAP sweep: GE-SpMM vs baselines on a suite subset (Fig 11 feel).
+
+Sweeps a handful of SNAP-twin matrices across feature widths on both
+GPUs and prints the per-matrix GFLOPS table plus geometric-mean
+speedups — the small-scale version of ``benchmarks/bench_fig11_table7``.
+
+Run:  python examples/snap_sweep.py [n_graphs]
+"""
+
+import sys
+
+from repro.baselines import CusparseCsrmm2, GraphBlastRowSplit
+from repro.bench import format_table, geomean, run_sweep, speedup_series
+from repro.core import GESpMM
+from repro.datasets import load_suite
+from repro.gpusim import GTX_1080TI, RTX_2080
+
+
+def main(n_graphs: int = 8) -> None:
+    names = sorted(load_suite(max_nnz=150_000).keys())[:n_graphs]
+    suite = load_suite(max_nnz=150_000, names=names)
+    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
+    widths = [128, 512]
+    gpus = [GTX_1080TI, RTX_2080]
+    results = run_sweep(kernels, suite, widths, gpus)
+
+    for gpu in gpus:
+        rows = []
+        for g in suite:
+            row = [g]
+            for n in widths:
+                vals = {r.kernel: r.gflops for r in results
+                        if r.graph == g and r.gpu == gpu.name and r.n == n}
+                row.append(" / ".join(f"{vals[k.name]:.0f}" for k in kernels))
+            rows.append(tuple(row))
+        print(format_table(["matrix"] + [f"N={n} (GB/cuSP/GE) GFLOPS" for n in widths],
+                           rows, title=f"\n{gpu.name}"))
+        for n in widths:
+            for base in ("cuSPARSE csrmm2", "GraphBLAST rowsplit"):
+                s = geomean(speedup_series(results, "GE-SpMM", base, gpu.name, n).values())
+                print(f"  N={n}: GE-SpMM vs {base}: {s:.2f}x")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,75 @@
+"""GE-SpMM reproduction library.
+
+Reimplements *GE-SpMM: General-purpose Sparse Matrix-Matrix Multiplication
+on GPUs for Graph Neural Networks* (Huang et al., SC 2020) on a simulated
+GPU substrate.  See README.md for a tour and DESIGN.md for the system
+inventory and modelling assumptions.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GESpMM, uniform_random, GTX_1080TI
+
+    a = uniform_random(m=4096, nnz=40960, seed=1)
+    b = np.random.rand(a.ncols, 128).astype(np.float32)
+    kernel = GESpMM()
+    c = kernel.run(a, b)                      # functional result
+    t = kernel.estimate(a, 128, GTX_1080TI)   # simulated kernel timing
+    print(t.time_s, t.bound_by)
+"""
+
+from repro.core import (
+    CRCSpMM,
+    CWMSpMM,
+    GESpMM,
+    MAX_TIMES,
+    MEAN_TIMES,
+    MIN_TIMES,
+    PLUS_TIMES,
+    Semiring,
+    SimpleSpMM,
+    gespmm,
+    gespmm_like,
+)
+from repro.gpusim import GTX_1080TI, RTX_2080, GPUSpec, profile_kernel
+from repro.sparse import (
+    CSRMatrix,
+    csr_from_coo,
+    csr_from_dense,
+    csr_from_scipy,
+    power_law,
+    reference_spmm,
+    reference_spmm_like,
+    rmat,
+    uniform_random,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GESpMM",
+    "SimpleSpMM",
+    "CRCSpMM",
+    "CWMSpMM",
+    "gespmm",
+    "gespmm_like",
+    "Semiring",
+    "PLUS_TIMES",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "MEAN_TIMES",
+    "GPUSpec",
+    "GTX_1080TI",
+    "RTX_2080",
+    "profile_kernel",
+    "CSRMatrix",
+    "csr_from_coo",
+    "csr_from_dense",
+    "csr_from_scipy",
+    "uniform_random",
+    "power_law",
+    "rmat",
+    "reference_spmm",
+    "reference_spmm_like",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Comparison baselines: every system the paper evaluates against,
+implemented as simulated kernel models with documented access patterns."""
+
+from repro.baselines.aspt import ASpTSpMM
+from repro.baselines.cusparse import CusparseCsrmm2, cublas_transpose_time
+from repro.baselines.dgl_fallback import DGLFallbackSpMMLike
+from repro.baselines.fastspmm import FastSpMM
+from repro.baselines.graphblast import GraphBlastRowSplit
+from repro.baselines.gunrock import GunrockAdvanceSpMM
+from repro.baselines.spmv_loop import SpMVLoopSpMM
+
+__all__ = [
+    "CusparseCsrmm2",
+    "cublas_transpose_time",
+    "GraphBlastRowSplit",
+    "GunrockAdvanceSpMM",
+    "ASpTSpMM",
+    "FastSpMM",
+    "SpMVLoopSpMM",
+    "DGLFallbackSpMMLike",
+]

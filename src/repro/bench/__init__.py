@@ -1,0 +1,37 @@
+"""Benchmark harness: sweep runner, aggregation, and reporting helpers."""
+
+from repro.bench.regression import (
+    RegressionEntry,
+    capture,
+    compare,
+    load_baseline,
+    save_baseline,
+)
+from repro.bench.report import PaperClaim, comparison, render_claims
+from repro.bench.runner import (
+    KernelResult,
+    bar_chart,
+    format_series,
+    format_table,
+    geomean,
+    run_sweep,
+    speedup_series,
+)
+
+__all__ = [
+    "geomean",
+    "KernelResult",
+    "run_sweep",
+    "speedup_series",
+    "format_table",
+    "format_series",
+    "bar_chart",
+    "RegressionEntry",
+    "capture",
+    "compare",
+    "save_baseline",
+    "load_baseline",
+    "PaperClaim",
+    "comparison",
+    "render_claims",
+]

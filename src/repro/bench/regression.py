@@ -1,0 +1,103 @@
+"""Performance-regression harness over simulated kernel timings.
+
+Simulated times are deterministic, which makes them ideal regression
+sentinels: any change to the kernels, counters or timing model that
+shifts a headline number shows up as a diff against a stored baseline.
+``capture`` records a suite of (kernel, graph, N, GPU) timings to JSON;
+``compare`` reports relative drifts beyond a tolerance.
+
+Used by ``tests/test_regression_harness.py`` and available to CI via
+``repro-bench`` consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import SpMMKernel
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["RegressionEntry", "capture", "save_baseline", "load_baseline", "compare"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RegressionEntry:
+    """One drifted measurement."""
+
+    key: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def drift(self) -> float:
+        """Relative change (positive = slower than baseline); infinite
+        for keys that appeared or disappeared."""
+        if self.baseline_s <= 0:
+            return float("inf")
+        if self.current_s <= 0:
+            return float("-inf")
+        return self.current_s / self.baseline_s - 1.0
+
+    def describe(self) -> str:
+        sign = "+" if self.drift >= 0 else ""
+        return f"{self.key}: {self.baseline_s:.3e}s -> {self.current_s:.3e}s ({sign}{self.drift * 100:.1f}%)"
+
+
+def _key(kernel: SpMMKernel, graph_name: str, n: int, gpu: GPUSpec) -> str:
+    return f"{kernel.name}|{graph_name}|N={n}|{gpu.name}"
+
+
+def capture(
+    kernels: Sequence[SpMMKernel],
+    graphs: Dict[str, CSRMatrix],
+    widths: Sequence[int],
+    gpus: Sequence[GPUSpec],
+) -> Dict[str, float]:
+    """Measure the full cross product into a {key: seconds} map."""
+    out: Dict[str, float] = {}
+    for gpu in gpus:
+        for gname, graph in graphs.items():
+            for n in widths:
+                for kernel in kernels:
+                    out[_key(kernel, gname, n, gpu)] = kernel.estimate(graph, n, gpu).time_s
+    return out
+
+
+def save_baseline(measurements: Dict[str, float], path: PathLike) -> None:
+    Path(path).write_text(json.dumps(measurements, indent=2, sort_keys=True))
+
+
+def load_baseline(path: PathLike) -> Dict[str, float]:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or not all(isinstance(v, (int, float)) for v in data.values()):
+        raise ValueError(f"malformed baseline file: {path}")
+    return data
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float = 0.02,
+) -> List[RegressionEntry]:
+    """Entries whose timing drifted beyond ``tolerance`` (plus keys that
+    appeared/disappeared, reported with a sentinel time of 0)."""
+    drifted: List[RegressionEntry] = []
+    for key, base in baseline.items():
+        cur = current.get(key)
+        if cur is None:
+            drifted.append(RegressionEntry(key, base, 0.0))
+            continue
+        if base <= 0:
+            continue
+        if abs(cur / base - 1.0) > tolerance:
+            drifted.append(RegressionEntry(key, base, cur))
+    for key in current:
+        if key not in baseline:
+            drifted.append(RegressionEntry(key, 0.0, current[key]))
+    return drifted

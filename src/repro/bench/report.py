@@ -1,0 +1,43 @@
+"""Paper-vs-measured comparison rows for EXPERIMENTS.md.
+
+Every benchmark script declares what the paper reports for its artifact
+and what the model measured; :func:`comparison` renders the standard
+three-column row so EXPERIMENTS.md and benchmark stdout stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PaperClaim", "comparison", "render_claims"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim from the paper and our measurement of it."""
+
+    artifact: str  # e.g. "Table VII / GTX1080Ti / vs cuSPARSE / N=512"
+    paper_value: str  # what the paper reports
+    measured: str  # what the simulator reproduces
+    holds: bool  # does the qualitative shape hold?
+    note: str = ""
+
+
+def comparison(artifact: str, paper_value: str, measured: str, holds: bool, note: str = "") -> PaperClaim:
+    return PaperClaim(artifact, paper_value, measured, holds, note)
+
+
+def render_claims(claims: List[PaperClaim], title: Optional[str] = None) -> str:
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    w0 = max((len(c.artifact) for c in claims), default=8)
+    w1 = max((len(c.paper_value) for c in claims), default=5)
+    w2 = max((len(c.measured) for c in claims), default=8)
+    lines.append(f"{'artifact':{w0}s}  {'paper':{w1}s}  {'measured':{w2}s}  shape")
+    for c in claims:
+        mark = "OK" if c.holds else "DEVIATES"
+        note = f"  ({c.note})" if c.note else ""
+        lines.append(f"{c.artifact:{w0}s}  {c.paper_value:{w1}s}  {c.measured:{w2}s}  {mark}{note}")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Benchmark harness utilities shared by the per-table/figure scripts.
+
+Provides the sweep runner (kernels x graphs x feature widths x GPUs),
+geometric-mean aggregation (the paper reports geometric means,
+Section V-A1), and plain-text table/series rendering so each benchmark
+prints rows directly comparable to the paper's artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import SpMMKernel
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import flops_of_spmm
+
+__all__ = [
+    "geomean",
+    "KernelResult",
+    "run_sweep",
+    "speedup_series",
+    "format_table",
+    "format_series",
+    "bar_chart",
+]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for per-matrix speedups)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """One (kernel, graph, N, GPU) measurement."""
+
+    kernel: str
+    graph: str
+    n: int
+    gpu: str
+    time_s: float
+    gflops: float
+
+
+def run_sweep(
+    kernels: Sequence[SpMMKernel],
+    graphs: Dict[str, CSRMatrix],
+    widths: Sequence[int],
+    gpus: Sequence[GPUSpec],
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[KernelResult]:
+    """Estimate every kernel on every (graph, N, GPU) combination."""
+    out: List[KernelResult] = []
+    for gpu in gpus:
+        for gname, graph in graphs.items():
+            for n in widths:
+                for kernel in kernels:
+                    t = kernel.estimate(graph, n, gpu)
+                    out.append(
+                        KernelResult(
+                            kernel=kernel.name,
+                            graph=gname,
+                            n=n,
+                            gpu=gpu.name,
+                            time_s=t.time_s,
+                            gflops=t.gflops(flops_of_spmm(graph, n)),
+                        )
+                    )
+            if progress:
+                progress(gname)
+    return out
+
+
+def speedup_series(
+    results: List[KernelResult],
+    numerator: str,
+    denominator: str,
+    gpu: str,
+    n: int,
+) -> Dict[str, float]:
+    """Per-graph speedup of ``denominator``'s time over ``numerator``'s
+    (i.e. how much faster ``numerator`` is), for one (GPU, N)."""
+    num = {r.graph: r.time_s for r in results if r.kernel == numerator and r.gpu == gpu and r.n == n}
+    den = {r.graph: r.time_s for r in results if r.kernel == denominator and r.gpu == gpu and r.n == n}
+    return {g: den[g] / num[g] for g in num if g in den and num[g] > 0}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, series: Dict[str, float], fmt: str = "{:.3f}") -> str:
+    """Render a named per-graph series on one line per item."""
+    lines = [name]
+    for k, v in series.items():
+        lines.append(f"  {k:28s} {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def bar_chart(series: Dict[str, float], width: int = 40, unit: float = None, label: str = "") -> str:
+    """ASCII bar chart — the textual rendering of the paper's figures."""
+    if not series:
+        return "(no data)"
+    top = unit or max(series.values())
+    if top <= 0:
+        top = 1.0
+    lines = [label] if label else []
+    for k, v in series.items():
+        n_bar = max(int(round(width * v / top)), 0)
+        lines.append(f"  {k:28s} |{'#' * n_bar}{' ' * (width - n_bar)}| {v:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""Command-line interface: profile, analyze, sweep, train, scenario.
+
+Installed as ``repro-bench`` (see pyproject).  Examples::
+
+    repro-bench analyze --graph soc-Epinions1
+    repro-bench profile --graph ca-AstroPh --n 256 --gpu "RTX 2080"
+    repro-bench sweep --graphs 6 --n 128 512
+    repro-bench train --dataset cora --epochs 20 --backend dgl --gespmm
+    repro-bench scenario --graph web-Stanford --feature-dim 128
+    repro-bench roofline --graph ca-AstroPh --n 256
+    repro-bench tune --graph soc-Epinions1 --n 512
+    repro-bench oom --n 512
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    ASpTSpMM,
+    CusparseCsrmm2,
+    DGLFallbackSpMMLike,
+    GraphBlastRowSplit,
+    GunrockAdvanceSpMM,
+    SpMVLoopSpMM,
+)
+from repro.bench import format_table, geomean, run_sweep, speedup_series
+from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
+from repro.datasets import catalog_names, load_citation, load_graph, load_suite
+from repro.gnn import DGLBackend, GCN, GraphSAGE, PyGBackend, SimDevice, train
+from repro.gnn.inference import (
+    amortization_crossover,
+    inference_scenario,
+    sampled_training_scenario,
+)
+from repro.gpusim import KNOWN_GPUS, GTX_1080TI, format_metric_table, profile_kernel
+from repro.sparse import uniform_random
+from repro.sparse.stats import analyze, row_length_histogram
+
+ALL_KERNELS = {
+    "simple": SimpleSpMM,
+    "crc": CRCSpMM,
+    "cwm2": lambda: CWMSpMM(2),
+    "gespmm": GESpMM,
+    "cusparse": CusparseCsrmm2,
+    "graphblast": GraphBlastRowSplit,
+    "gunrock": GunrockAdvanceSpMM,
+    "aspt": ASpTSpMM,
+    "spmv-loop": SpMVLoopSpMM,
+    "dgl-fallback": DGLFallbackSpMMLike,
+}
+
+
+def _load_graph_arg(args):
+    if args.graph == "random":
+        return uniform_random(args.m, args.nnz, seed=args.seed)
+    if args.graph in ("cora", "citeseer", "pubmed"):
+        return load_citation(args.graph).normalized_adjacency()
+    return load_graph(args.graph, max_nnz=args.max_nnz)
+
+
+def _gpu_arg(name: str):
+    if name not in KNOWN_GPUS:
+        raise SystemExit(f"unknown GPU {name!r}; choose from {sorted(KNOWN_GPUS)}")
+    return KNOWN_GPUS[name]
+
+
+def cmd_analyze(args) -> int:
+    g = _load_graph_arg(args)
+    print(f"[{args.graph}]")
+    print(analyze(g).summary())
+    print("row-length histogram:")
+    for bucket, count in row_length_histogram(g).items():
+        print(f"  len {bucket:>6s}: {count}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    g = _load_graph_arg(args)
+    gpu = _gpu_arg(args.gpu)
+    kernels = [ALL_KERNELS[k]() for k in args.kernels]
+    reports = [profile_kernel(k, g, args.n, gpu) for k in kernels]
+    print(f"[{args.graph}] N={args.n} on {gpu.name}")
+    print(format_metric_table(reports))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    names = catalog_names()[: args.graphs]
+    suite = load_suite(max_nnz=args.max_nnz, names=names)
+    gpu = _gpu_arg(args.gpu)
+    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
+    results = run_sweep(kernels, suite, args.n, [gpu])
+    rows = []
+    for g in suite:
+        row = [g]
+        for n in args.n:
+            vals = {r.kernel: r.gflops for r in results if r.graph == g and r.n == n}
+            row.append("/".join(f"{vals[k.name]:.0f}" for k in kernels))
+        rows.append(tuple(row))
+    print(format_table(["matrix"] + [f"N={n} (GB/cuSP/GE)" for n in args.n], rows,
+                       title=f"GFLOPS on {gpu.name}"))
+    for n in args.n:
+        for base in ("cuSPARSE csrmm2", "GraphBLAST rowsplit"):
+            s = geomean(speedup_series(results, "GE-SpMM", base, gpu.name, n).values())
+            print(f"  N={n}: GE-SpMM vs {base}: {s:.2f}x")
+    return 0
+
+
+def cmd_train(args) -> int:
+    ds = load_citation(args.dataset)
+    gpu = _gpu_arg(args.gpu)
+    device = SimDevice(gpu)
+    backend_cls = {"dgl": DGLBackend, "pyg": PyGBackend}[args.backend]
+    backend = backend_cls(device, use_gespmm=args.gespmm)
+    rng = np.random.default_rng(args.seed)
+    if args.model == "gcn":
+        model = GCN(ds.feature_dim, args.hidden, ds.n_classes, n_layers=args.layers, rng=rng)
+    else:
+        model = GraphSAGE(ds.feature_dim, args.hidden, ds.n_classes, n_layers=args.layers,
+                          aggregator=args.model.split("-", 1)[1], rng=rng)
+    res = train(model, backend, ds, epochs=args.epochs)
+    print(f"{backend.name} / {args.model} on {ds.name} ({args.epochs} epochs, {gpu.name})")
+    print(f"loss {res.losses[0]:.3f} -> {res.losses[-1]:.3f}, test acc {res.test_accuracy:.2%}")
+    print(res.profile.format())
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    g = _load_graph_arg(args)
+    gpu = _gpu_arg(args.gpu)
+    inf = inference_scenario(g, args.feature_dim, gpu)
+    samp = sampled_training_scenario(g, args.feature_dim, gpu, n_batches=args.batches)
+    for res in (inf, samp):
+        print(f"[{res.scenario}] ({res.spmm_calls} aggregation calls)")
+        for name, t in sorted(res.times.items(), key=lambda kv: kv[1]):
+            print(f"  {name:22s} {t * 1e3:9.3f} ms")
+    cross = amortization_crossover(g, args.feature_dim, gpu)
+    if cross is None:
+        print("ASpT never amortizes its preprocess on this matrix (<=64 reuses)")
+    else:
+        print(f"ASpT amortizes its preprocess after {cross} reuses of the same matrix")
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from repro.gpusim import roofline_report
+
+    g = _load_graph_arg(args)
+    gpu = _gpu_arg(args.gpu)
+    kernels = [ALL_KERNELS[k]() for k in args.kernels]
+    print(f"[{args.graph}] N={args.n}")
+    print(roofline_report(kernels, g, args.n, gpu))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.core import tune_cf
+
+    g = _load_graph_arg(args)
+    gpu = _gpu_arg(args.gpu)
+    res = tune_cf(g, args.n, gpu)
+    print(f"[{args.graph}] N={args.n} on {gpu.name}")
+    for cf, t in sorted(res.times.items()):
+        mark = "  <- best" if cf == res.best_cf else ""
+        print(f"  CF={cf}: {t * 1e3:8.4f} ms{mark}")
+    fixed_loss = res.loss_of(2)
+    print(f"fixed CF=2 loses {fixed_loss * 100:.2f}% to the oracle here")
+    return 0
+
+
+def cmd_oom(args) -> int:
+    from repro.datasets import SNAP_CATALOG
+    from repro.gpusim import fits, spmm_footprint
+
+    class Shell:
+        def __init__(self, e):
+            self.nrows = self.ncols = e.m
+            self.nnz = e.nnz
+
+    gpus = [KNOWN_GPUS[n] for n in sorted(KNOWN_GPUS)]
+    print(f"paper-scale SNAP matrices that cannot run SpMM at N={args.n}:")
+    any_oom = False
+    for e in sorted(SNAP_CATALOG, key=lambda e: e.name):
+        shell = Shell(e)
+        marks = ["OOM" if not fits(shell, args.n, g) else "fits" for g in gpus]
+        if "OOM" in marks:
+            any_oom = True
+            gb = spmm_footprint(shell, args.n).total / 2**30
+            cells = "  ".join(f"{g.name}: {m}" for g, m in zip(gpus, marks))
+            print(f"  {e.name:24s} {gb:6.2f} GiB   {cells}")
+    if not any_oom:
+        print("  (none at this width)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro-bench", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_graph_opts(sp):
+        sp.add_argument("--graph", default="random",
+                        help="'random', a citation graph, or a SNAP matrix name")
+        sp.add_argument("--m", type=int, default=65_536, help="rows for --graph random")
+        sp.add_argument("--nnz", type=int, default=650_000, help="nonzeros for --graph random")
+        sp.add_argument("--seed", type=int, default=42)
+        sp.add_argument("--max-nnz", type=int, default=300_000,
+                        help="scaling cap for SNAP twins")
+        sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
+
+    sp = sub.add_parser("analyze", help="structural profile of a matrix")
+    add_graph_opts(sp)
+    sp.set_defaults(fn=cmd_analyze)
+
+    sp = sub.add_parser("profile", help="nvprof-style kernel comparison")
+    add_graph_opts(sp)
+    sp.add_argument("--n", type=int, default=128, help="dense feature width")
+    sp.add_argument("--kernels", nargs="+", default=["simple", "crc", "gespmm", "cusparse"],
+                    choices=sorted(ALL_KERNELS))
+    sp.set_defaults(fn=cmd_profile)
+
+    sp = sub.add_parser("sweep", help="mini SNAP sweep (Fig 11 style)")
+    add_graph_opts(sp)
+    sp.add_argument("--graphs", type=int, default=8)
+    sp.add_argument("--n", type=int, nargs="+", default=[128, 512])
+    sp.set_defaults(fn=cmd_sweep)
+
+    sp = sub.add_parser("train", help="train a GNN on a citation twin")
+    sp.add_argument("--dataset", default="cora", choices=["cora", "citeseer", "pubmed"])
+    sp.add_argument("--model", default="gcn", choices=["gcn", "sage-gcn", "sage-pool"])
+    sp.add_argument("--backend", default="dgl", choices=["dgl", "pyg"])
+    sp.add_argument("--gespmm", action="store_true", help="swap in GE-SpMM")
+    sp.add_argument("--epochs", type=int, default=20)
+    sp.add_argument("--hidden", type=int, default=16)
+    sp.add_argument("--layers", type=int, default=1)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
+    sp.set_defaults(fn=cmd_train)
+
+    sp = sub.add_parser("scenario", help="inference / sampled-training amortization")
+    add_graph_opts(sp)
+    sp.add_argument("--feature-dim", type=int, default=128)
+    sp.add_argument("--batches", type=int, default=4)
+    sp.set_defaults(fn=cmd_scenario)
+
+    sp = sub.add_parser("roofline", help="roofline placement of kernels")
+    add_graph_opts(sp)
+    sp.add_argument("--n", type=int, default=256)
+    sp.add_argument("--kernels", nargs="+", default=["simple", "crc", "gespmm", "cusparse"],
+                    choices=sorted(ALL_KERNELS))
+    sp.set_defaults(fn=cmd_roofline)
+
+    sp = sub.add_parser("tune", help="per-matrix coarsening-factor tuning")
+    add_graph_opts(sp)
+    sp.add_argument("--n", type=int, default=512)
+    sp.set_defaults(fn=cmd_tune)
+
+    sp = sub.add_parser("oom", help="paper-scale out-of-memory report")
+    sp.add_argument("--n", type=int, default=512)
+    sp.set_defaults(fn=cmd_oom)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: GE-SpMM and its two techniques
+(Coalesced Row Caching and Coarse-grained Warp Merging)."""
+
+from repro.core.crc import CRCSpMM
+from repro.core.cwm import CWMSpMM
+from repro.core.gespmm import ADAPTIVE_THRESHOLD, DEFAULT_CF, GESpMM, gespmm, gespmm_like
+from repro.core.semiring import (
+    MAX_TIMES,
+    MEAN_TIMES,
+    MIN_TIMES,
+    PLUS_TIMES,
+    Semiring,
+    builtin_semirings,
+)
+from repro.core.sddmm import GESDDMM, edge_softmax, reference_sddmm
+from repro.core.simple import SimpleSpMM
+from repro.core.fused import Epilogue, FusedGESpMM, RELU_EPILOGUE, bias_relu_epilogue
+from repro.core.tuning import TunedSpMM, TuneResult, oracle_gap, tune_cf
+
+__all__ = [
+    "SimpleSpMM",
+    "CRCSpMM",
+    "CWMSpMM",
+    "GESpMM",
+    "gespmm",
+    "gespmm_like",
+    "ADAPTIVE_THRESHOLD",
+    "DEFAULT_CF",
+    "Semiring",
+    "PLUS_TIMES",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "MEAN_TIMES",
+    "builtin_semirings",
+    "TunedSpMM",
+    "TuneResult",
+    "tune_cf",
+    "oracle_gap",
+    "FusedGESpMM",
+    "Epilogue",
+    "RELU_EPILOGUE",
+    "bias_relu_epilogue",
+    "GESDDMM",
+    "edge_softmax",
+    "reference_sddmm",
+]

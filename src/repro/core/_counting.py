@@ -1,0 +1,142 @@
+"""Shared closed-form access counting for CSR SpMM kernel models.
+
+All simulated kernels decompose the output into (row, column-segment)
+warp tasks: a warp owns one sparse row and a contiguous span of output
+columns (32 columns per warp, or ``32 * CF`` under Coarse-grained Warp
+Merging).  The helpers here compute, fully vectorized, the exact 32-byte
+sector counts for the access patterns those kernels share:
+
+* dense-matrix row-segment loads (``B[k, j0:j0+len]``),
+* output stores (``C[i, j0:j0+len]``),
+* coalesced 32-element sparse tile loads (CRC),
+* broadcast walks over a sparse row (Algorithm 1, SpMV-style kernels).
+
+Counts are exact under the alignment established by ``TraceMemory``
+(buffers are 32 B aligned).  For dense segments this means: when
+``N % 8 == 0`` every row of ``B`` starts on a sector boundary and the
+closed form ``ceil(len/8)`` per segment applies; otherwise the count
+depends on each nonzero's column and is computed per segment over the
+``colind`` array.  The trace-vs-analytic property tests exercise both
+paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gpusim.memory import segment_sectors
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "dense_segments",
+    "count_b_loads",
+    "count_c_stores",
+    "count_tile_loads",
+    "broadcast_walk_sectors",
+    "unique_b_columns",
+    "warps_per_row",
+]
+
+ELEMS_PER_SECTOR = 8  # 32-byte sector / 4-byte element
+
+
+def warps_per_row(n: int, cf: int = 1) -> int:
+    """Number of warps covering ``n`` output columns at coarsening ``cf``."""
+    span = 32 * cf
+    return (n + span - 1) // span
+
+
+def dense_segments(n: int) -> List[Tuple[int, int]]:
+    """The ``(start_column, length)`` of each 32-wide warp load segment
+    covering ``n`` columns.  Independent of CF: a CF-coarsened warp issues
+    CF of these segments itself, so the union over the row is identical.
+    """
+    return [(s, min(32, n - s)) for s in range(0, n, 32)]
+
+
+@dataclass(frozen=True)
+class AccessTotals:
+    """Totals of one access pattern over the whole kernel."""
+
+    instructions: int
+    sectors: int
+    requested_bytes: int
+
+
+def count_b_loads(a: CSRMatrix, n: int) -> AccessTotals:
+    """Dense-matrix loads: one 32-wide segment load per nonzero per
+    segment of the row span.  Exact sector count."""
+    segments = dense_segments(n)
+    instructions = a.nnz * len(segments)
+    requested = a.nnz * n * 4
+    if n % ELEMS_PER_SECTOR == 0:
+        sectors = a.nnz * sum((length + 7) // 8 for _, length in segments)
+    else:
+        base = a.colind.astype(np.int64) * n
+        sectors = 0
+        for start, length in segments:
+            sectors += int(segment_sectors(base + start, np.int64(length)).sum())
+    return AccessTotals(int(instructions), int(sectors), int(requested))
+
+
+def count_c_stores(a: CSRMatrix, n: int) -> AccessTotals:
+    """Output stores: one segment store per (row, segment)."""
+    m = a.nrows
+    segments = dense_segments(n)
+    instructions = m * len(segments)
+    requested = m * n * 4
+    if n % ELEMS_PER_SECTOR == 0:
+        sectors = m * sum((length + 7) // 8 for _, length in segments)
+    else:
+        base = np.arange(m, dtype=np.int64) * n
+        sectors = 0
+        for start, length in segments:
+            sectors += int(segment_sectors(base + start, np.int64(length)).sum())
+    return AccessTotals(int(instructions), int(sectors), int(requested))
+
+
+def count_tile_loads(a: CSRMatrix, tile: int = 32) -> AccessTotals:
+    """Coalesced tile loads of one sparse-side array (colind *or* values):
+    per row, ``ceil(L/tile)`` warp loads of up to ``tile`` consecutive
+    elements starting at ``rowptr[i] + t*tile``.
+
+    Returns totals **per column-segment warp** — multiply by the number
+    of warps sharing the row to get kernel totals.
+    """
+    lengths = a.row_lengths()
+    n_tiles = (lengths + tile - 1) // tile
+    total_tiles = int(n_tiles.sum())
+    if total_tiles == 0:
+        return AccessTotals(0, 0, 0)
+    # Expand one entry per tile: row starts repeated, tile index within row.
+    row_of_tile = np.repeat(np.arange(a.nrows, dtype=np.int64), n_tiles)
+    tile_idx = np.arange(total_tiles, dtype=np.int64) - np.repeat(
+        np.cumsum(n_tiles) - n_tiles, n_tiles
+    )
+    starts = a.rowptr[:-1].astype(np.int64)[row_of_tile] + tile_idx * tile
+    lens = np.minimum(tile, lengths[row_of_tile] - tile_idx * tile)
+    sectors = int(segment_sectors(starts, lens).sum())
+    requested = int(lens.sum()) * 4
+    return AccessTotals(total_tiles, sectors, requested)
+
+
+def broadcast_walk_sectors(a: CSRMatrix) -> int:
+    """Distinct sectors touched when a warp walks a sparse row one
+    element at a time (broadcast loads): the L1-filtered transaction
+    count of Algorithm 1's sparse loads, per column-segment warp and per
+    sparse array."""
+    lengths = a.row_lengths()
+    starts = a.rowptr[:-1].astype(np.int64)
+    return int(segment_sectors(starts, lengths).sum())
+
+
+def unique_b_columns(a: CSRMatrix) -> int:
+    """Number of distinct dense-matrix rows the kernel touches (the
+    compulsory footprint of ``B``)."""
+    if a.nnz == 0:
+        return 0
+    return int(np.unique(a.colind).size)

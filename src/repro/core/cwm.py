@@ -1,0 +1,192 @@
+"""Algorithm 3 — CRC plus Coarse-grained Warp Merging (CWM).
+
+CWM merges the workloads of CF ("coarsening factor") column-adjacent
+warps into one: each thread keeps CF accumulators and produces CF output
+elements spaced ``warp_size`` columns apart.  The merged warp loads each
+sparse tile once instead of CF times, and the CF dense loads per consumed
+nonzero are *independent* instructions, raising memory-level parallelism
+(paper Section III-C: "improve bandwidth throughput with instruction-
+level parallelism").  The costs: CF times fewer warps in flight and
+roughly ``5*CF`` extra registers per thread for accumulators and
+addresses, which erodes occupancy at large CF — the trade-off behind the
+paper's empirical choice of CF=2 (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import _counting as cnt
+from repro.core.semiring import PLUS_TIMES, Semiring
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import KernelCounts, SpMMKernel
+from repro.gpusim.memory import KernelStats, TraceMemory, TraceSharedMemory
+from repro.gpusim.occupancy import LaunchConfig
+from repro.gpusim.timing import ExecHints
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import reference_spmm_like
+
+__all__ = ["CWMSpMM"]
+
+_WARPS_PER_BLOCK = 4
+_THREADS_PER_BLOCK = 32 * _WARPS_PER_BLOCK
+_TILE = 32
+_SHARED_PER_WARP = _TILE * 8
+
+
+class CWMSpMM(SpMMKernel):
+    """CSR SpMM with Coalesced Row Caching + Coarse-grained Warp Merging
+    (paper Algorithm 3, generalized to arbitrary coarsening factor)."""
+
+    supports_general_semiring = True
+
+    def __init__(self, cf: int = 2):
+        super().__init__()
+        if cf < 1:
+            raise ValueError("coarsening factor must be >= 1")
+        self.cf = int(cf)
+        self.name = f"crc+cwm(cf={self.cf})"
+
+    @property
+    def regs_per_thread(self) -> int:
+        # Base CRC footprint plus one accumulator and one address pair per
+        # extra output element.
+        return 26 + 5 * self.cf
+
+    def mlp_for(self, n: int) -> float:
+        """CRC's single stream widened by one independent dense load per
+        *active* accumulator: column segments beyond ``n`` are predicated
+        off and contribute no outstanding requests (why CWM is pointless
+        for N <= 32, paper Fig. 7c)."""
+        active_cf = min(self.cf, max((n + 31) // 32, 1))
+        return 1.4 + 0.7 * active_cf if active_cf >= 2 else 1.4
+
+    def run(self, a: CSRMatrix, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+        self.check_semiring(semiring)
+        return reference_spmm_like(a, b, semiring)
+
+    def count(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> KernelCounts:
+        stats = KernelStats()
+        cf = self.cf
+        wpr = cnt.warps_per_row(n, cf)
+        m, nnz = a.nrows, a.nnz
+
+        # Dense loads: each merged warp issues CF segment loads per
+        # consumed nonzero, so the totals over the row are exactly the
+        # CF=1 totals (the union of segments covers the same N columns).
+        b_loads = cnt.count_b_loads(a, n)
+        stats.global_load.instructions += b_loads.instructions
+        stats.global_load.transactions += b_loads.sectors
+        stats.global_load.requested_bytes += b_loads.requested_bytes
+        stats.global_load.l1_filtered_transactions += b_loads.sectors
+
+        tiles = cnt.count_tile_loads(a, _TILE)
+        stats.global_load.instructions += 2 * wpr * tiles.instructions
+        stats.global_load.transactions += 2 * wpr * tiles.sectors
+        stats.global_load.requested_bytes += 2 * wpr * tiles.requested_bytes
+        stats.global_load.l1_filtered_transactions += 2 * wpr * tiles.sectors
+
+        rp_insts = 2 * m * wpr
+        stats.global_load.instructions += rp_insts
+        stats.global_load.transactions += rp_insts
+        stats.global_load.requested_bytes += 4 * rp_insts
+        stats.global_load.l1_filtered_transactions += max(rp_insts // 8, 1) if m else 0
+
+        c_stores = cnt.count_c_stores(a, n)
+        stats.global_store.instructions += c_stores.instructions
+        stats.global_store.transactions += c_stores.sectors
+        stats.global_store.requested_bytes += c_stores.requested_bytes
+
+        stats.shared_store.instructions = 2 * wpr * tiles.instructions
+        stats.shared_store.transactions = stats.shared_store.instructions
+        stats.shared_store.requested_bytes = 2 * wpr * tiles.requested_bytes
+        stats.shared_load.instructions = 2 * nnz * wpr
+        stats.shared_load.transactions = stats.shared_load.instructions
+        stats.shared_load.requested_bytes = 4 * stats.shared_load.instructions
+        stats.warp_syncs = wpr * tiles.instructions
+
+        tr = stats.traffic("colind")
+        tr.sectors = wpr * tiles.sectors
+        tr.unique_bytes = 4 * nnz
+        tr.reuse_is_local = True
+        tv = stats.traffic("values")
+        tv.sectors = wpr * tiles.sectors
+        tv.unique_bytes = 4 * nnz
+        tv.reuse_is_local = True
+        tb = stats.traffic("B")
+        tb.sectors = b_loads.sectors
+        tb.unique_bytes = cnt.unique_b_columns(a) * n * 4
+        tb.reuse_is_local = False
+        tp = stats.traffic("rowptr")
+        tp.sectors = rp_insts
+        tp.unique_bytes = 4 * (m + 1)
+        tp.reuse_is_local = True
+
+        stats.flops = 2 * nnz * n
+        # Per consumed nonzero: the shared broadcast and loop control are
+        # amortized over CF outputs; the CF FMAs are counted in `flops`.
+        stats.alu_instructions = (
+            (2 + 2 * cf) * nnz * wpr + 8 * wpr * tiles.instructions + (10 + 2 * cf) * m * wpr
+        )
+
+        tasks = m * wpr
+        launch = LaunchConfig(
+            blocks=(tasks + _WARPS_PER_BLOCK - 1) // _WARPS_PER_BLOCK,
+            threads_per_block=_THREADS_PER_BLOCK,
+            regs_per_thread=self.regs_per_thread,
+            shared_mem_per_block=_WARPS_PER_BLOCK * _SHARED_PER_WARP,
+        )
+        return stats, launch, ExecHints(mlp=self.mlp_for(n))
+
+    def trace(self, a, b, gpu, semiring: Semiring = PLUS_TIMES):
+        self.check_semiring(semiring)
+        b = np.ascontiguousarray(b, dtype=np.float32)
+        m, n = a.nrows, b.shape[1]
+        cf = self.cf
+        span = 32 * cf
+        mem = TraceMemory(l1_caches_global=gpu.l1_caches_global)
+        mem.register("rowptr", a.rowptr)
+        mem.register("colind", a.colind)
+        mem.register("values", a.values)
+        mem.register("B", b.ravel())
+        mem.register("C", np.full(m * n, semiring.init, dtype=np.float32))
+        lanes = np.arange(32)
+        for i in range(m):
+            for seg in range(0, n, span):
+                shared = TraceSharedMemory(64, mem.stats)
+                row_start = int(mem.load("rowptr", np.full(32, i))[0])
+                row_end = int(mem.load("rowptr", np.full(32, i + 1))[0])
+                cols = [seg + 32 * c + lanes for c in range(cf)]
+                masks = [col < n for col in cols]
+                accs = [np.full(32, semiring.init, dtype=np.float64) for _ in range(cf)]
+                for ptr in range(row_start, row_end, _TILE):
+                    tile_len = min(_TILE, row_end - ptr)
+                    tile_mask = lanes < tile_len
+                    act = lanes[:tile_len]
+                    ks = mem.load("colind", ptr + lanes, mask=tile_mask)
+                    vs = mem.load("values", ptr + lanes, mask=tile_mask)
+                    shared.store(act, ks.astype(np.float64))
+                    shared.store(32 + act, vs.astype(np.float64))
+                    mem.stats.warp_syncs += 1
+                    for kk in range(tile_len):
+                        k = int(shared.load(np.full(32, kk))[0])
+                        v = float(shared.load(np.full(32, 32 + kk))[0])
+                        for c in range(cf):
+                            if not masks[c].any():
+                                # Fully-predicated segment: no request issued.
+                                continue
+                            bv = np.zeros(32)
+                            bv[masks[c]] = mem.load("B", k * n + cols[c], mask=masks[c])
+                            accs[c][masks[c]] = semiring.reduce_pair(
+                                accs[c][masks[c]],
+                                semiring.combine(v, bv[masks[c]]),
+                            )
+                for c in range(cf):
+                    if masks[c].any():
+                        mem.store("C", i * n + cols[c], accs[c].astype(np.float32), mask=masks[c])
+        c_out = mem.buffer("C").reshape(m, n)
+        lengths = a.row_lengths()
+        return (
+            semiring.finalize(c_out.astype(np.float64), lengths).astype(np.float32),
+            mem.stats,
+        )

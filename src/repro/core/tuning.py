@@ -1,0 +1,129 @@
+"""Offline coarsening-factor autotuning and the runtime-vs-oracle gap.
+
+The paper deliberately ships a *runtime* kernel with a fixed CF=2 rather
+than a per-matrix tuner: "Analytical models for choosing CF could be
+difficult ... We turn to an empirical method and experimented on our
+dataset ... to find a general best choice of CF" (Section III-C), and
+"since our goal is to provide a runtime SpMM kernel, we avoid any
+parameter tuning" (Section V-B2).
+
+This module implements the road not taken — an exhaustive offline tuner —
+so the design choice can be quantified: ``oracle_gap`` measures how much
+performance the fixed policy leaves on the table (the paper reports CF=2
+within 15% of optimal on 60-63 of 64 matrices; the ablation benchmark
+reproduces that check through this code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.crc import CRCSpMM
+from repro.core.cwm import CWMSpMM
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import SpMMKernel
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["TuneResult", "tune_cf", "oracle_gap", "TunedSpMM"]
+
+DEFAULT_CF_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of tuning one (matrix, N, GPU) point."""
+
+    best_cf: int
+    times: Dict[int, float]  # cf -> simulated seconds (cf=1 means plain CRC)
+
+    @property
+    def best_time(self) -> float:
+        return self.times[self.best_cf]
+
+    def loss_of(self, cf: int) -> float:
+        """Relative slowdown of choosing ``cf`` instead of the best."""
+        return self.times[cf] / self.best_time - 1.0
+
+
+def _kernel_for(cf: int) -> SpMMKernel:
+    return CRCSpMM() if cf == 1 else CWMSpMM(cf)
+
+
+def tune_cf(
+    a: CSRMatrix,
+    n: int,
+    gpu: GPUSpec,
+    candidates: Sequence[int] = DEFAULT_CF_CANDIDATES,
+) -> TuneResult:
+    """Exhaustively evaluate the CF candidates on the model and pick the
+    fastest (what an offline autotuner would measure on hardware)."""
+    if not candidates:
+        raise ValueError("no CF candidates")
+    times = {cf: _kernel_for(cf).estimate(a, n, gpu).time_s for cf in candidates}
+    best = min(times, key=times.get)
+    return TuneResult(best_cf=best, times=times)
+
+
+def oracle_gap(
+    graphs: Iterable[CSRMatrix],
+    n: int,
+    gpu: GPUSpec,
+    fixed_cf: int = 2,
+    candidates: Sequence[int] = DEFAULT_CF_CANDIDATES,
+    threshold: float = 0.15,
+) -> Tuple[float, int, List[TuneResult]]:
+    """Quantify the fixed-CF policy against the per-matrix oracle.
+
+    Returns ``(worst_loss, n_bad, results)`` where ``n_bad`` counts
+    matrices on which the fixed policy loses more than ``threshold``
+    (the paper's 15% criterion) to the oracle.
+    """
+    results = [tune_cf(g, n, gpu, candidates) for g in graphs]
+    losses = [r.loss_of(fixed_cf) for r in results]
+    n_bad = sum(1 for l in losses if l > threshold)
+    return (max(losses) if losses else 0.0, n_bad, results)
+
+
+class TunedSpMM(SpMMKernel):
+    """A per-(matrix, N, GPU) autotuned SpMM — the preprocessing-flavored
+    alternative the paper argues against for runtime use.
+
+    First use on a given key runs the tuner (an offline cost the caller
+    should budget like ASpT's preprocess); subsequent calls dispatch to
+    the tuned kernel.
+    """
+
+    name = "GE-SpMM (autotuned)"
+    supports_general_semiring = True
+    requires_preprocess = True
+
+    def __init__(self, candidates: Sequence[int] = DEFAULT_CF_CANDIDATES):
+        super().__init__()
+        self.candidates = tuple(candidates)
+        self._choice: Dict[tuple, SpMMKernel] = {}
+
+    def _select(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> SpMMKernel:
+        key = (id(a), n, gpu.name)
+        kernel = self._choice.get(key)
+        if kernel is None:
+            result = tune_cf(a, n, gpu, self.candidates)
+            kernel = _kernel_for(result.best_cf)
+            self._choice[key] = kernel
+        return kernel
+
+    def run(self, a, b, semiring=None):
+        from repro.semiring import PLUS_TIMES
+
+        semiring = semiring or PLUS_TIMES
+        from repro.gpusim.config import GTX_1080TI
+
+        return self._select(a, b.shape[1], GTX_1080TI).run(a, b, semiring)
+
+    def count(self, a, n, gpu):
+        return self._select(a, n, gpu).count(a, n, gpu)
+
+    def tuning_time(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> float:
+        """What the tuning itself costs on-device: one timed run per
+        candidate (measurement runs execute the real kernel)."""
+        return sum(_kernel_for(cf).estimate(a, n, gpu).time_s for cf in self.candidates)

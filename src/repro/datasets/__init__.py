@@ -1,0 +1,31 @@
+"""Benchmark datasets: citation-graph twins and the SNAP-like suite."""
+
+from repro.datasets.citation import (
+    CITATION_STATS,
+    CitationDataset,
+    load_citation,
+    load_citeseer,
+    load_cora,
+    load_pubmed,
+)
+from repro.datasets.snap import (
+    SNAP_CATALOG,
+    SnapEntry,
+    catalog_names,
+    load_graph,
+    load_suite,
+)
+
+__all__ = [
+    "CitationDataset",
+    "CITATION_STATS",
+    "load_citation",
+    "load_cora",
+    "load_citeseer",
+    "load_pubmed",
+    "SnapEntry",
+    "SNAP_CATALOG",
+    "catalog_names",
+    "load_graph",
+    "load_suite",
+]

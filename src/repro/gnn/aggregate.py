@@ -1,0 +1,134 @@
+"""Differentiable graph aggregation (the SpMM / SpMM-like autograd op).
+
+This is the reproduction of Section IV-B: "we wrap our kernel inside a
+custom autograd function ... an atomic operator with gradient definition
+in PyTorch [that] represents an aggregation step on the graph".
+
+* **sum** aggregation is standard SpMM: forward ``C = A @ X``; backward
+  ``dX = A^T @ dC`` — another SpMM on the (cached) transposed adjacency.
+  Mean aggregation is sum over a row-normalized adjacency, so layers
+  express it by normalizing the operand.
+* **max** aggregation is the paper's flagship SpMM-like case
+  (GraphSAGE-pool).  Forward takes the max-times semiring; empty rows
+  produce 0 (the DGL convention) rather than the semiring identity.
+  Backward routes each output gradient to the nonzeros whose contribution
+  attained the maximum (ties share the subgradient).
+
+Numeric execution is vectorized NumPy; the simulated kernel cost of both
+directions is charged to the device ledger by the caller-supplied
+``forward_cost`` / ``backward_cost`` callables, which is where the
+framework backends (DGL-style fused kernels, PyG-style message passing,
+GE-SpMM swap-ins) differ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.gnn.tensor import Tensor
+from repro.semiring import MAX_TIMES, PLUS_TIMES
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import reference_spmm_like
+
+__all__ = ["GraphPair", "aggregate_sum", "aggregate_max"]
+
+
+class GraphPair:
+    """An adjacency matrix with its cached transpose (for backward) and
+    cached normalized variants (for GCN / mean aggregation)."""
+
+    def __init__(self, adj: CSRMatrix):
+        self.adj = adj
+        self._adj_t: CSRMatrix = None
+        self._row_norm: "GraphPair" = None
+        self._sym_norm: "GraphPair" = None
+
+    @property
+    def adj_t(self) -> CSRMatrix:
+        if self._adj_t is None:
+            self._adj_t = self.adj.transpose()
+        return self._adj_t
+
+    def row_normalized(self) -> "GraphPair":
+        if self._row_norm is None:
+            self._row_norm = GraphPair(self.adj.row_normalized())
+        return self._row_norm
+
+    def sym_normalized_with_loops(self) -> "GraphPair":
+        if self._sym_norm is None:
+            self._sym_norm = GraphPair(self.adj.add_self_loops().sym_normalized())
+        return self._sym_norm
+
+    @property
+    def nnz(self) -> int:
+        return self.adj.nnz
+
+
+CostFn = Callable[[CSRMatrix, int], float]
+
+
+def aggregate_sum(
+    g: GraphPair,
+    x: Tensor,
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    record: Callable[[str, float], None],
+    label: str = "SpMM",
+) -> Tensor:
+    """Sum aggregation ``C = A @ X`` with SpMM-costed backward."""
+    n = x.data.shape[1]
+    record(label, forward_cost(g.adj, n))
+    out = reference_spmm_like(g.adj, x.data, PLUS_TIMES)
+
+    def backward(grad: np.ndarray) -> None:
+        record(label, backward_cost(g.adj_t, n))
+        if x.requires_grad:
+            x.accumulate_grad(reference_spmm_like(g.adj_t, grad, PLUS_TIMES))
+
+    return Tensor(out, x.requires_grad, [x], backward if x.requires_grad else None, name=label)
+
+
+def _max_forward(adj: CSRMatrix, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Max-times forward returning (output, per-nonzero contributions)."""
+    out = reference_spmm_like(adj, x, MAX_TIMES)
+    contributions = adj.values[:, None] * x[adj.colind.astype(np.int64)]
+    return out, contributions
+
+
+def aggregate_max(
+    g: GraphPair,
+    x: Tensor,
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    record: Callable[[str, float], None],
+    label: str = "SpMM-like",
+) -> Tensor:
+    """Max aggregation (SpMM-like) with argmax-routed backward."""
+    n = x.data.shape[1]
+    adj = g.adj
+    record(label, forward_cost(adj, n))
+    out, contributions = _max_forward(adj, x.data)
+    lengths = adj.row_lengths()
+    empty = lengths == 0
+    out_clean = out.copy()
+    out_clean[empty] = 0.0  # DGL convention: no neighbors -> zeros
+
+    rows = np.repeat(np.arange(adj.nrows, dtype=np.int64), lengths)
+    cols = adj.colind.astype(np.int64)
+
+    def backward(grad: np.ndarray) -> None:
+        record(label, backward_cost(g.adj_t, n))
+        if not x.requires_grad:
+            return
+        # Route gradients to maximizing contributions (ties share).
+        is_max = contributions == out[rows]
+        dx = np.zeros_like(x.data)
+        scaled = grad[rows] * is_max * adj.values[:, None]
+        np.add.at(dx, cols, scaled)
+        x.accumulate_grad(dx)
+
+    return Tensor(
+        out_clean, x.requires_grad, [x], backward if x.requires_grad else None, name=label
+    )

@@ -1,0 +1,57 @@
+"""Model checkpointing: save/load trained parameters.
+
+Inference on new graphs — the paper's amortization scenario — assumes a
+*trained* model exists; this module provides the persistence layer:
+parameters are serialized to a single ``.npz`` keyed by their registered
+names, with shape validation on restore.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+PathLike = Union[str, Path]
+
+
+def _named_parameters(model) -> dict:
+    params = model.parameters()
+    names = []
+    for i, p in enumerate(params):
+        base = p.name or f"param{i}"
+        name = base
+        k = 1
+        while name in names:  # disambiguate repeated layer names
+            name = f"{base}#{k}"
+            k += 1
+        names.append(name)
+    return dict(zip(names, params))
+
+
+def save_checkpoint(model, path: PathLike) -> None:
+    """Serialize all of ``model.parameters()`` to ``path`` (.npz)."""
+    named = _named_parameters(model)
+    np.savez_compressed(path, **{name: p.data for name, p in named.items()})
+
+
+def load_checkpoint(model, path: PathLike) -> None:
+    """Restore parameters in place; shapes and names must match."""
+    named = _named_parameters(model)
+    with np.load(path) as z:
+        missing = set(named) - set(z.files)
+        extra = set(z.files) - set(named)
+        if missing or extra:
+            raise ValueError(
+                f"checkpoint mismatch: missing={sorted(missing)}, unexpected={sorted(extra)}"
+            )
+        for name, p in named.items():
+            data = z[name]
+            if data.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint {data.shape} vs model {p.data.shape}"
+                )
+            p.data = data.astype(np.float32)

@@ -1,0 +1,157 @@
+"""Differentiable operators for the GNN substrate.
+
+Each op computes in NumPy and charges simulated device time (forward and
+backward) to the :class:`SimDevice` ledger under the operator labels the
+benchmark tables aggregate over: ``GEMM`` for dense matmuls,
+``elementwise`` for maps/reductions.  Sparse aggregation lives in
+:mod:`repro.gnn.aggregate` under the ``SpMM``/``SpMM-like`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gnn.device import SimDevice
+from repro.gnn.tensor import Tensor
+
+__all__ = [
+    "matmul",
+    "add_bias",
+    "relu",
+    "dropout",
+    "log_softmax",
+    "nll_loss",
+    "concat",
+]
+
+
+def matmul(x: Tensor, w: Tensor, device: SimDevice) -> Tensor:
+    """Dense ``x @ w`` with cuBLAS-modelled timing."""
+    m, k = x.data.shape
+    k2, n = w.data.shape
+    if k != k2:
+        raise ValueError(f"matmul shape mismatch {x.data.shape} @ {w.data.shape}")
+    device.record("GEMM", device.gemm_time(m, k, n))
+    out_data = x.data @ w.data
+
+    def backward(g: np.ndarray) -> None:
+        device.record("GEMM", device.gemm_time(m, n, k))  # dX = g @ W^T
+        device.record("GEMM", device.gemm_time(k, m, n))  # dW = X^T @ g
+        if x.requires_grad:
+            x.accumulate_grad(g @ w.data.T)
+        if w.requires_grad:
+            w.accumulate_grad(x.data.T @ g)
+
+    req = x.requires_grad or w.requires_grad
+    return Tensor(out_data, req, [x, w], backward if req else None, name="matmul")
+
+
+def add_bias(x: Tensor, b: Tensor, device: SimDevice) -> Tensor:
+    """Row-broadcast bias addition."""
+    device.record("elementwise", device.elementwise_time(x.size))
+    out = x.data + b.data[None, :]
+
+    def backward(g: np.ndarray) -> None:
+        device.record("elementwise", device.elementwise_time(x.size))
+        if x.requires_grad:
+            x.accumulate_grad(g)
+        if b.requires_grad:
+            b.accumulate_grad(g.sum(axis=0))
+
+    req = x.requires_grad or b.requires_grad
+    return Tensor(out, req, [x, b], backward if req else None, name="add_bias")
+
+
+def relu(x: Tensor, device: SimDevice) -> Tensor:
+    device.record("elementwise", device.elementwise_time(x.size))
+    mask = x.data > 0
+    out = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        device.record("elementwise", device.elementwise_time(x.size))
+        if x.requires_grad:
+            x.accumulate_grad(g * mask)
+
+    return Tensor(out, x.requires_grad, [x], backward if x.requires_grad else None, name="relu")
+
+
+def dropout(
+    x: Tensor, p: float, device: SimDevice, training: bool, rng: np.random.Generator
+) -> Tensor:
+    """Inverted dropout; identity when not training."""
+    if not training or p <= 0:
+        return x
+    if not 0 <= p < 1:
+        raise ValueError("dropout probability must be in [0, 1)")
+    device.record("elementwise", device.elementwise_time(x.size))
+    keep = (rng.random(x.data.shape) >= p).astype(np.float32) / (1.0 - p)
+    out = x.data * keep
+
+    def backward(g: np.ndarray) -> None:
+        device.record("elementwise", device.elementwise_time(x.size))
+        if x.requires_grad:
+            x.accumulate_grad(g * keep)
+
+    return Tensor(out, x.requires_grad, [x], backward if x.requires_grad else None, name="dropout")
+
+
+def log_softmax(x: Tensor, device: SimDevice) -> Tensor:
+    """Row-wise log-softmax (numerically stabilized)."""
+    device.record("elementwise", device.elementwise_time(x.size, n_arrays=3))
+    shifted = x.data - x.data.max(axis=1, keepdims=True)
+    logsum = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    out = shifted - logsum
+
+    def backward(g: np.ndarray) -> None:
+        device.record("elementwise", device.elementwise_time(x.size, n_arrays=3))
+        if x.requires_grad:
+            softmax = np.exp(out)
+            x.accumulate_grad(g - softmax * g.sum(axis=1, keepdims=True))
+
+    return Tensor(out, x.requires_grad, [x], backward if x.requires_grad else None, name="log_softmax")
+
+
+def nll_loss(
+    log_probs: Tensor, labels: np.ndarray, device: SimDevice, mask: Optional[np.ndarray] = None
+) -> Tensor:
+    """Masked negative log-likelihood averaged over selected rows."""
+    labels = np.asarray(labels, dtype=np.int64)
+    idx = np.nonzero(mask)[0] if mask is not None else np.arange(labels.shape[0])
+    if idx.size == 0:
+        raise ValueError("empty mask in nll_loss")
+    device.record("elementwise", device.elementwise_time(log_probs.size))
+    picked = log_probs.data[idx, labels[idx]]
+    out = np.array(-picked.mean(), dtype=np.float32)
+
+    def backward(g: np.ndarray) -> None:
+        device.record("elementwise", device.elementwise_time(log_probs.size))
+        if log_probs.requires_grad:
+            grad = np.zeros_like(log_probs.data)
+            grad[idx, labels[idx]] = -float(g) / idx.size
+            log_probs.accumulate_grad(grad)
+
+    return Tensor(
+        out, log_probs.requires_grad, [log_probs],
+        backward if log_probs.requires_grad else None, name="nll_loss",
+    )
+
+
+def concat(a: Tensor, b: Tensor, device: SimDevice) -> Tensor:
+    """Column-wise concatenation (GraphSAGE's [self, neighborhood])."""
+    if a.data.shape[0] != b.data.shape[0]:
+        raise ValueError("concat row mismatch")
+    device.record("elementwise", device.elementwise_time(a.size + b.size))
+    out = np.concatenate([a.data, b.data], axis=1)
+    na = a.data.shape[1]
+
+    def backward(g: np.ndarray) -> None:
+        device.record("elementwise", device.elementwise_time(a.size + b.size))
+        if a.requires_grad:
+            a.accumulate_grad(g[:, :na])
+        if b.requires_grad:
+            b.accumulate_grad(g[:, na:])
+
+    req = a.requires_grad or b.requires_grad
+    return Tensor(out, req, [a, b], backward if req else None, name="concat")

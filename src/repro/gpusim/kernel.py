@@ -1,0 +1,103 @@
+"""Base class shared by all simulated SpMM kernels.
+
+A kernel model couples three views of the same algorithm:
+
+* ``run``      — functional execution (vectorized NumPy), producing the
+                 numeric output; validated against the SciPy oracle.
+* ``count``    — closed-form access/instruction statistics plus launch
+                 shape; validated against ``trace`` where implemented.
+* ``trace``    — optional faithful warp-by-warp execution through
+                 :class:`repro.gpusim.memory.TraceMemory`; exact but slow,
+                 used on small inputs by tests and profiling examples.
+
+``estimate`` ties ``count`` to the timing model.  Results are memoized on
+``(matrix id, N, gpu, semiring)`` because benchmark sweeps re-time the
+same kernel/matrix pair at several places (speedup numerators and
+denominators).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.semiring import PLUS_TIMES, Semiring
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.memory import KernelStats
+from repro.gpusim.occupancy import LaunchConfig
+from repro.gpusim.timing import ExecHints, KernelTiming, TimingParams, estimate_time
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["SpMMKernel", "KernelCounts"]
+
+KernelCounts = Tuple[KernelStats, LaunchConfig, ExecHints]
+
+
+class SpMMKernel(ABC):
+    """Abstract simulated SpMM / SpMM-like kernel."""
+
+    #: human-readable kernel name used in benchmark tables
+    name: str = "abstract"
+    #: whether the kernel accepts user-defined (non plus-times) semirings
+    supports_general_semiring: bool = True
+    #: preprocessing the kernel requires before first use (CSR is free)
+    requires_preprocess: bool = False
+
+    def __init__(self) -> None:
+        self._estimate_cache: Dict[tuple, KernelTiming] = {}
+
+    # -- functional ----------------------------------------------------
+    @abstractmethod
+    def run(
+        self, a: CSRMatrix, b: np.ndarray, semiring: Semiring = PLUS_TIMES
+    ) -> np.ndarray:
+        """Execute functionally and return ``C`` (float32[M, N])."""
+
+    # -- modelling -----------------------------------------------------
+    @abstractmethod
+    def count(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> KernelCounts:
+        """Closed-form statistics and launch configuration."""
+
+    def trace(
+        self,
+        a: CSRMatrix,
+        b: np.ndarray,
+        gpu: GPUSpec,
+        semiring: Semiring = PLUS_TIMES,
+    ) -> Tuple[np.ndarray, KernelStats]:
+        """Faithful warp-level execution (small inputs).  Optional."""
+        raise NotImplementedError(f"{self.name} has no trace-mode implementation")
+
+    # -- timing ----------------------------------------------------------
+    def estimate(
+        self,
+        a: CSRMatrix,
+        n: int,
+        gpu: GPUSpec,
+        semiring: Semiring = PLUS_TIMES,
+        params: Optional[TimingParams] = None,
+    ) -> KernelTiming:
+        """Simulated kernel time for ``A (MxK) @ B (KxN)`` on ``gpu``."""
+        self.check_semiring(semiring)
+        key = (id(a), a.nnz, a.shape, int(n), gpu.name, semiring.name, id(params))
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            return cached
+        stats, launch, hints = self.count(a, int(n), gpu)
+        timing = estimate_time(stats, launch, gpu, hints, params or TimingParams())
+        self._estimate_cache[key] = timing
+        return timing
+
+    # -- misc ------------------------------------------------------------
+    def check_semiring(self, semiring: Semiring) -> None:
+        if not self.supports_general_semiring and not semiring.is_standard:
+            raise NotImplementedError(
+                f"{self.name} supports only standard plus-times SpMM "
+                f"(got semiring {semiring.name!r}); this is the cuSPARSE "
+                "limitation the paper's SpMM-like support addresses"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,299 @@
+"""Warp-level memory coalescing model and access statistics.
+
+This module defines the reproduction's equivalent of ``nvprof``'s memory
+counters.  The central rule (CUDA programming guide; paper Section II-A)
+is that a warp's 32 lane addresses are merged into the minimum number of
+32-byte *sectors*; each distinct sector is one global transaction
+(``gld_transactions`` / ``gst_transactions``).  ``gld_efficiency`` is the
+ratio of bytes the program asked for to bytes the transactions moved.
+
+Two usage modes share these definitions:
+
+* **trace mode** — :class:`TraceMemory` holds real buffers; kernels
+  executed warp-by-warp call :meth:`TraceMemory.load` /
+  :meth:`TraceMemory.store` with per-lane element indices and an active
+  mask.  Every call coalesces the actual addresses.  This is exact and is
+  used by tests and small-input profiling.
+* **analytic mode** — kernels compute the same totals in closed form with
+  vectorized NumPy (see each kernel's ``count`` method).  Property tests
+  assert trace == analytic on randomized small inputs.
+
+Shared-memory accesses are modelled with the 32-bank rule: a warp request
+is replayed once per additional address mapping to an already-used bank
+(broadcasts of one address are conflict-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "AccessStats",
+    "KernelStats",
+    "TraceMemory",
+    "warp_sector_count",
+    "segment_sectors",
+    "bank_conflict_passes",
+]
+
+SECTOR = 32  # bytes
+ELEM = 4  # float32 / int32
+
+
+def warp_sector_count(byte_addresses: np.ndarray) -> int:
+    """Number of 32 B sectors a warp access touches.
+
+    ``byte_addresses`` holds the active lanes' byte addresses (inactive
+    lanes excluded).  An empty access costs zero transactions — CUDA
+    issues nothing when the whole warp is predicated off.
+    """
+    if byte_addresses.size == 0:
+        return 0
+    return int(np.unique(byte_addresses // SECTOR).size)
+
+
+def segment_sectors(start_elem: np.ndarray, length: np.ndarray, elem_bytes: int = ELEM) -> np.ndarray:
+    """Vectorized sector count for contiguous element ranges.
+
+    For a warp loading elements ``[s, s+L)`` of a 32 B-aligned array, the
+    transaction count is ``floor(((s+L)*b - 1)/32) - floor(s*b/32) + 1``
+    (zero when ``L == 0``).  Used by the analytic counters.
+    """
+    start_elem = np.asarray(start_elem, dtype=np.int64)
+    length = np.asarray(length, dtype=np.int64)
+    first = (start_elem * elem_bytes) // SECTOR
+    last = ((start_elem + length) * elem_bytes - 1) // SECTOR
+    out = last - first + 1
+    return np.where(length > 0, out, 0)
+
+
+def bank_conflict_passes(word_addresses: np.ndarray) -> int:
+    """Number of shared-memory passes (1 = conflict free) for a warp
+    request, under the 32-bank / 4-byte-word rule with broadcast merging:
+    distinct addresses mapping to the same bank serialize."""
+    if word_addresses.size == 0:
+        return 0
+    distinct = np.unique(word_addresses)
+    banks = distinct % 32
+    _, counts = np.unique(banks, return_counts=True)
+    return int(counts.max())
+
+
+@dataclass
+class AccessStats:
+    """Counters for one (space, direction) access stream."""
+
+    instructions: int = 0  # warp-level load/store instructions issued
+    transactions: int = 0  # 32 B sectors moved (L1<->L2 for global)
+    requested_bytes: int = 0  # bytes the active lanes asked for
+    l1_filtered_transactions: int = 0  # sectors after Turing L1 filtering
+
+    def merge(self, other: "AccessStats") -> None:
+        self.instructions += other.instructions
+        self.transactions += other.transactions
+        self.requested_bytes += other.requested_bytes
+        self.l1_filtered_transactions += other.l1_filtered_transactions
+
+    @property
+    def efficiency(self) -> float:
+        """``gld_efficiency``-style metric: requested / moved bytes."""
+        if self.transactions == 0:
+            return 1.0
+        return self.requested_bytes / (self.transactions * SECTOR)
+
+    def scaled(self, factor: float) -> "AccessStats":
+        return AccessStats(
+            int(round(self.instructions * factor)),
+            int(round(self.transactions * factor)),
+            int(round(self.requested_bytes * factor)),
+            int(round(self.l1_filtered_transactions * factor)),
+        )
+
+
+@dataclass
+class ArrayTraffic:
+    """Aggregate traffic of one logical array, for the L2 reuse model."""
+
+    sectors: int = 0  # total sector fetches issued for this array
+    unique_bytes: int = 0  # footprint actually touched
+    reuse_is_local: bool = True  # re-references happen close in time
+
+
+@dataclass
+class KernelStats:
+    """Everything the timing model needs about one kernel execution."""
+
+    global_load: AccessStats = field(default_factory=AccessStats)
+    global_store: AccessStats = field(default_factory=AccessStats)
+    shared_load: AccessStats = field(default_factory=AccessStats)
+    shared_store: AccessStats = field(default_factory=AccessStats)
+    array_traffic: Dict[str, ArrayTraffic] = field(default_factory=dict)
+    flops: int = 0
+    alu_instructions: int = 0  # integer/addressing/loop overhead per warp
+    warp_syncs: int = 0
+    block_syncs: int = 0
+    atomic_ops: int = 0
+
+    def traffic(self, name: str) -> ArrayTraffic:
+        return self.array_traffic.setdefault(name, ArrayTraffic())
+
+    def merge(self, other: "KernelStats") -> None:
+        self.global_load.merge(other.global_load)
+        self.global_store.merge(other.global_store)
+        self.shared_load.merge(other.shared_load)
+        self.shared_store.merge(other.shared_store)
+        for name, tr in other.array_traffic.items():
+            mine = self.traffic(name)
+            mine.sectors += tr.sectors
+            mine.unique_bytes = max(mine.unique_bytes, tr.unique_bytes)
+            mine.reuse_is_local = mine.reuse_is_local and tr.reuse_is_local
+        self.flops += other.flops
+        self.alu_instructions += other.alu_instructions
+        self.warp_syncs += other.warp_syncs
+        self.block_syncs += other.block_syncs
+        self.atomic_ops += other.atomic_ops
+
+    # Convenience metric accessors mirroring nvprof names -----------------
+    @property
+    def gld_transactions(self) -> int:
+        return self.global_load.transactions
+
+    @property
+    def gld_efficiency(self) -> float:
+        return self.global_load.efficiency
+
+    @property
+    def gst_transactions(self) -> int:
+        return self.global_store.transactions
+
+    def effective_load_sectors(self, l1_caches_global: bool) -> int:
+        """Sectors that actually cross L1<->L2 after optional L1 filtering."""
+        if l1_caches_global and self.global_load.l1_filtered_transactions:
+            return self.global_load.l1_filtered_transactions
+        return self.global_load.transactions
+
+
+class TraceMemory:
+    """Exact, trace-driven global-memory model.
+
+    Buffers are registered by name; each gets a sector-aligned base
+    address in a flat byte space so cross-array sector sharing cannot
+    occur (matching ``cudaMalloc``'s 256 B alignment).  ``load``/``store``
+    move real data *and* account transactions, enabling kernels to be both
+    functionally executed and exactly profiled from the same code path.
+    """
+
+    def __init__(self, l1_caches_global: bool = False, l1_window_sectors: int = 512):
+        self.stats = KernelStats()
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._bases: Dict[str, int] = {}
+        self._next_base = 0
+        self._l1 = l1_caches_global
+        # Tiny direct-history L1 filter: a sector re-referenced within the
+        # window hits.  Window default ~= 16 KB of resident tags per SM.
+        self._l1_window = l1_window_sectors
+        self._l1_recent: Dict[int, int] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register (and copy) a device buffer; returns the live buffer."""
+        buf = np.array(array)  # device copy; host array stays intact
+        self._buffers[name] = buf
+        self._bases[name] = self._next_base
+        nbytes = buf.size * buf.itemsize
+        self._next_base += ((nbytes + 255) // 256) * 256
+        self.stats.traffic(name).unique_bytes = nbytes
+        return buf
+
+    def buffer(self, name: str) -> np.ndarray:
+        return self._buffers[name]
+
+    def _account(
+        self, name: str, idx: np.ndarray, mask: Optional[np.ndarray], store: bool
+    ) -> np.ndarray:
+        buf = self._buffers[name]
+        idx = np.asarray(idx, dtype=np.int64)
+        if mask is None:
+            active = idx
+        else:
+            active = idx[np.asarray(mask, dtype=bool)]
+        stats = self.stats.global_store if store else self.stats.global_load
+        stats.instructions += 1
+        if active.size == 0:
+            return active
+        if np.any(active < 0) or np.any(active >= buf.size):
+            raise IndexError(f"out-of-bounds access to device buffer {name!r}")
+        addrs = self._bases[name] + active * buf.itemsize
+        sectors = np.unique(addrs // SECTOR)
+        stats.transactions += sectors.size
+        # Useful bytes: distinct addresses only, so a broadcast counts its
+        # 4 bytes once (this is the numerator of our gld_efficiency).
+        stats.requested_bytes += int(np.unique(active).size) * buf.itemsize
+        if not store:
+            self.stats.traffic(name).sectors += sectors.size
+            # L1 filter (Turing): count only sectors not recently seen.
+            misses = sectors.size
+            if self._l1:
+                misses = 0
+                for s in sectors.tolist():
+                    self._clock += 1
+                    last = self._l1_recent.get(s)
+                    if last is None or self._clock - last > self._l1_window:
+                        misses += 1
+                    self._l1_recent[s] = self._clock
+            stats.l1_filtered_transactions += misses
+        return active
+
+    # ------------------------------------------------------------------
+    def load(self, name: str, idx: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Warp global load: returns values for *active* lanes in lane order."""
+        active = self._account(name, idx, mask, store=False)
+        return self._buffers[name][active]
+
+    def store(
+        self,
+        name: str,
+        idx: np.ndarray,
+        values: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Warp global store."""
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values)
+        if mask is not None:
+            m = np.asarray(mask, dtype=bool)
+            idx, values = idx[m], values[m]
+        self._account(name, idx, None, store=True)
+        self._buffers[name][idx] = values
+
+
+class TraceSharedMemory:
+    """Per-block shared memory with bank-conflict accounting."""
+
+    def __init__(self, words: int, stats: KernelStats):
+        self._mem = np.zeros(words, dtype=np.float64)
+        self._stats = stats
+
+    def store(self, idx: np.ndarray, values: np.ndarray, mask: Optional[np.ndarray] = None) -> None:
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values)
+        if mask is not None:
+            m = np.asarray(mask, dtype=bool)
+            idx, values = idx[m], values[m]
+        self._stats.shared_store.instructions += 1
+        self._stats.shared_store.transactions += bank_conflict_passes(idx)
+        self._stats.shared_store.requested_bytes += int(np.unique(idx).size) * ELEM
+        self._mem[idx] = values
+
+    def load(self, idx: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if mask is not None:
+            idx = idx[np.asarray(mask, dtype=bool)]
+        self._stats.shared_load.instructions += 1
+        self._stats.shared_load.transactions += bank_conflict_passes(idx)
+        self._stats.shared_load.requested_bytes += int(np.unique(idx).size) * ELEM
+        return self._mem[idx]

@@ -1,0 +1,100 @@
+"""Device-memory footprint accounting and out-of-memory detection.
+
+The paper's evaluation carries memory limits as first-class facts:
+FriendSter and Twitter are dropped from the SNAP suite for out-of-memory,
+and Figs 8/9/11 annotate several bars "out of memory" on the 8 GB
+RTX 2080 that fit on the 11 GB GTX 1080Ti.  This module reproduces that
+boundary: :func:`spmm_footprint` prices the device allocations of one
+SpMM call and :func:`check_fits` raises :class:`DeviceOutOfMemory` the
+way ``cudaMalloc`` fails, so benchmark sweeps can mark the same bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpusim.config import GPUSpec
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["DeviceOutOfMemory", "SpmmFootprint", "spmm_footprint", "check_fits"]
+
+#: fraction of DRAM usable by one workload (context, fragmentation, ECC)
+_USABLE_FRACTION = 0.92
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Raised when an SpMM working set exceeds the device's capacity."""
+
+    def __init__(self, footprint: "SpmmFootprint", gpu: GPUSpec):
+        self.footprint = footprint
+        self.gpu = gpu
+        super().__init__(
+            f"SpMM working set {footprint.total / 2**30:.2f} GiB exceeds "
+            f"{gpu.name}'s usable {_USABLE_FRACTION * gpu.dram_capacity / 2**30:.2f} GiB"
+        )
+
+
+@dataclass(frozen=True)
+class SpmmFootprint:
+    """Device allocations of one SpMM ``C[MxN] = A[MxK] @ B[KxN]``."""
+
+    sparse_bytes: int  # rowptr + colind + values
+    dense_in_bytes: int  # B
+    dense_out_bytes: int  # C
+    workspace_bytes: int  # kernel scratch (format extras, staging)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.sparse_bytes
+            + self.dense_in_bytes
+            + self.dense_out_bytes
+            + self.workspace_bytes
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sparse": self.sparse_bytes,
+            "dense_in": self.dense_in_bytes,
+            "dense_out": self.dense_out_bytes,
+            "workspace": self.workspace_bytes,
+            "total": self.total,
+        }
+
+
+def spmm_footprint(a: CSRMatrix, n: int, workspace_factor: float = 0.0) -> SpmmFootprint:
+    """Working set of one SpMM call.
+
+    ``workspace_factor`` scales extra per-nonzero scratch: 0 for CSR-native
+    kernels (GE-SpMM's no-preprocess claim), ~1.0+ for format-converting
+    kernels that hold a second copy of the matrix, and up to the padding
+    ratio for ELLPACK.
+    """
+    if n < 0:
+        raise ValueError("negative feature width")
+    sparse = 4 * (a.nrows + 1) + 8 * a.nnz
+    dense_in = 4 * a.ncols * n
+    dense_out = 4 * a.nrows * n
+    workspace = int(workspace_factor * 8 * a.nnz)
+    return SpmmFootprint(sparse, dense_in, dense_out, workspace)
+
+
+def check_fits(
+    a: CSRMatrix, n: int, gpu: GPUSpec, workspace_factor: float = 0.0
+) -> SpmmFootprint:
+    """Return the footprint, or raise :class:`DeviceOutOfMemory` if the
+    workload cannot be allocated on ``gpu`` (the paper's omitted bars)."""
+    fp = spmm_footprint(a, n, workspace_factor)
+    if fp.total > _USABLE_FRACTION * gpu.dram_capacity:
+        raise DeviceOutOfMemory(fp, gpu)
+    return fp
+
+
+def fits(a: CSRMatrix, n: int, gpu: GPUSpec, workspace_factor: float = 0.0) -> bool:
+    """Predicate form of :func:`check_fits`."""
+    try:
+        check_fits(a, n, gpu, workspace_factor)
+        return True
+    except DeviceOutOfMemory:
+        return False

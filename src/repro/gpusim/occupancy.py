@@ -1,0 +1,115 @@
+"""CUDA occupancy calculator.
+
+Computes how many blocks of a given launch configuration fit on one SM —
+limited by warp slots, the register file, shared memory, and the hard
+block cap — and from that the *achieved occupancy* (``nvprof``'s
+``achieved_occupancy``: active warps / maximum warps).  Coarse-grained
+Warp Merging trades exactly this quantity against memory-level
+parallelism, so the paper's Table VI reports it alongside load metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.config import GPUSpec
+
+__all__ = ["LaunchConfig", "Occupancy", "compute_occupancy"]
+
+_REG_ALLOC_GRANULARITY = 256  # registers are allocated in warp granules
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch: grid size plus per-block resource usage."""
+
+    blocks: int
+    threads_per_block: int
+    regs_per_thread: int = 32
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks < 0 or self.threads_per_block <= 0:
+            raise ValueError("invalid launch configuration")
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.threads_per_block + 31) // 32
+
+    @property
+    def total_warps(self) -> int:
+        return self.blocks * self.warps_per_block
+
+    @property
+    def total_threads(self) -> int:
+        return self.blocks * self.threads_per_block
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation."""
+
+    blocks_per_sm: int  # resource-limited residency
+    active_warps_per_sm: float  # grid-limited average residency
+    achieved: float  # active / max warps, in [0, 1]
+    limiter: str  # which resource bound residency
+    waves: float  # grid size / full-device residency
+
+    @property
+    def is_latency_starved(self) -> bool:
+        """Heuristic flag: too few warps to hide memory latency."""
+        return self.active_warps_per_sm < 8
+
+
+def compute_occupancy(cfg: LaunchConfig, gpu: GPUSpec) -> Occupancy:
+    """Blocks-per-SM and achieved occupancy for ``cfg`` on ``gpu``.
+
+    Mirrors NVIDIA's occupancy calculator: the binding limit is the
+    minimum over warp slots, registers (allocated per warp with
+    granularity), shared memory, and the block cap.  Small grids that
+    cannot fill the device reduce *achieved* occupancy below the
+    resource-limited value — this is what makes tiny GNN graphs (Cora)
+    launch-latency bound in the end-to-end experiments.
+    """
+    if cfg.threads_per_block > gpu.max_threads_per_block:
+        raise ValueError(
+            f"block of {cfg.threads_per_block} threads exceeds device limit "
+            f"{gpu.max_threads_per_block}"
+        )
+    warps_per_block = cfg.warps_per_block
+
+    by_warps = gpu.max_warps_per_sm // warps_per_block
+    regs_per_warp = _round_up(cfg.regs_per_thread * 32, _REG_ALLOC_GRANULARITY)
+    by_regs = gpu.registers_per_sm // max(regs_per_warp * warps_per_block, 1)
+    if cfg.shared_mem_per_block > 0:
+        if cfg.shared_mem_per_block > gpu.shared_mem_per_block:
+            raise ValueError("shared memory request exceeds per-block limit")
+        by_shared = gpu.shared_mem_per_sm // cfg.shared_mem_per_block
+    else:
+        by_shared = gpu.max_blocks_per_sm
+    limits = {
+        "warps": by_warps,
+        "registers": by_regs,
+        "shared_memory": by_shared,
+        "blocks": gpu.max_blocks_per_sm,
+    }
+    limiter = min(limits, key=limits.get)
+    blocks_per_sm = max(min(limits.values()), 0)
+    if blocks_per_sm == 0:
+        raise ValueError(f"kernel cannot launch: zero residency (limited by {limiter})")
+
+    # Grid limitation: with fewer blocks than device residency the average
+    # active warp count over the kernel's lifetime is grid-bound.
+    device_residency = blocks_per_sm * gpu.n_sms
+    if cfg.blocks == 0:
+        return Occupancy(blocks_per_sm, 0.0, 0.0, "empty_grid", 0.0)
+    waves = cfg.blocks / device_residency
+    avg_blocks_per_sm = min(blocks_per_sm, cfg.blocks / gpu.n_sms)
+    active_warps = avg_blocks_per_sm * warps_per_block
+    achieved = min(active_warps / gpu.max_warps_per_sm, 1.0)
+    return Occupancy(blocks_per_sm, active_warps, achieved, limiter, waves)
+
+
+def _round_up(x: int, granularity: int) -> int:
+    return int(math.ceil(x / granularity) * granularity)

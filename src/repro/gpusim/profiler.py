@@ -1,0 +1,90 @@
+"""nvprof-style profiling reports over simulated kernels.
+
+The paper quotes four nvprof metrics (Sections V-B1/V-B2): ``gld_transactions``,
+``gld_efficiency``, ``gld_throughput`` and ``achieved_occupancy``.  This
+module computes the same quantities from a :class:`KernelTiming` and
+formats them the way the paper's tables do, so benchmark scripts can print
+directly comparable rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import SpMMKernel
+from repro.gpusim.memory import SECTOR
+from repro.gpusim.timing import KernelTiming
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import flops_of_spmm
+
+__all__ = ["ProfileReport", "profile_kernel", "format_metric_table"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Simulated nvprof metrics for one kernel launch."""
+
+    kernel: str
+    gpu: str
+    gld_transactions: int  # 32-byte global load transactions
+    gld_efficiency: float  # requested / moved bytes, in [0, 1]
+    gld_throughput: float  # bytes/s across SM<->L2 while executing
+    gst_transactions: int
+    achieved_occupancy: float
+    dram_bytes: float
+    time_s: float
+    gflops: float
+    bound_by: str
+
+    def as_row(self) -> Dict[str, str]:
+        """Formatted cells in the paper's units (x32 bytes, GB/s, ratio)."""
+        return {
+            "kernel": self.kernel,
+            "GLT(x32B)": f"{self.gld_transactions:.3e}",
+            "GLT effi": f"{self.gld_efficiency * 100:.2f}%",
+            "gld throughput(GB/s)": f"{self.gld_throughput / 1e9:.2f}",
+            "Occ": f"{self.achieved_occupancy:.2f}",
+            "time(ms)": f"{self.time_s * 1e3:.3f}",
+            "GFLOPS": f"{self.gflops:.1f}",
+            "bound": self.bound_by,
+        }
+
+
+def profile_kernel(
+    kernel: SpMMKernel, a: CSRMatrix, n: int, gpu: GPUSpec
+) -> ProfileReport:
+    """Run the analytic model and package nvprof-style metrics."""
+    timing = kernel.estimate(a, n, gpu)
+    stats = timing.stats
+    return ProfileReport(
+        kernel=kernel.name,
+        gpu=gpu.name,
+        gld_transactions=stats.global_load.transactions,
+        gld_efficiency=stats.global_load.efficiency,
+        gld_throughput=timing.gld_throughput,
+        gst_transactions=stats.global_store.transactions,
+        achieved_occupancy=timing.occupancy.achieved,
+        dram_bytes=timing.breakdown.get("dram", 0.0) * gpu.dram_bandwidth,
+        time_s=timing.time_s,
+        gflops=timing.gflops(flops_of_spmm(a, n)),
+        bound_by=timing.bound_by,
+    )
+
+
+def format_metric_table(reports: List[ProfileReport], columns: List[str] = None) -> str:
+    """Render reports as an aligned text table (benchmark output)."""
+    if not reports:
+        return "(no data)"
+    rows = [r.as_row() for r in reports]
+    columns = columns or list(rows[0].keys())
+    widths = {c: max(len(c), *(len(r.get(c, "")) for r in rows)) for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for r in rows:
+        lines.append("  ".join(r.get(c, "").ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

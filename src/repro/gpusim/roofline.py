@@ -1,0 +1,85 @@
+"""Roofline analysis of simulated kernels.
+
+The paper's profiling narrative (Fig. 3) is a roofline argument: SpMM
+sits far below the compute roof and — once coalesced — pins the memory
+roof, so the only wins left are *moving less data* (CRC, CWM's sparse
+reuse) and *raising achievable bandwidth* (CWM's ILP).  This module
+computes the classic roofline quantities for any kernel/matrix pair so
+examples and the CLI can show exactly where each design sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import SpMMKernel
+from repro.gpusim.memory import SECTOR
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import flops_of_spmm
+
+__all__ = ["RooflinePoint", "roofline_point", "roofline_report"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position in roofline space."""
+
+    kernel: str
+    gpu: str
+    arithmetic_intensity: float  # FLOP per byte crossing the L2 link
+    achieved_gflops: float
+    peak_gflops: float
+    memory_roof_gflops: float  # bandwidth * intensity
+    bound: str  # "memory" | "compute"
+
+    @property
+    def roof_utilization(self) -> float:
+        """Achieved / applicable roof, in [0, 1]-ish."""
+        roof = min(self.memory_roof_gflops, self.peak_gflops)
+        return self.achieved_gflops / roof if roof > 0 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.kernel:18s} AI={self.arithmetic_intensity:6.3f} flop/B  "
+            f"achieved={self.achieved_gflops:7.1f} GF/s  "
+            f"roof={min(self.memory_roof_gflops, self.peak_gflops):7.1f} GF/s "
+            f"({self.bound}-bound, {self.roof_utilization * 100:.0f}% of roof)"
+        )
+
+
+def roofline_point(kernel: SpMMKernel, a: CSRMatrix, n: int, gpu: GPUSpec) -> RooflinePoint:
+    """Place one kernel execution on ``gpu``'s roofline."""
+    timing = kernel.estimate(a, n, gpu)
+    stats = timing.stats
+    flops = flops_of_spmm(a, n)
+    link_bytes = (
+        stats.effective_load_sectors(gpu.l1_caches_global) + stats.global_store.transactions
+    ) * SECTOR
+    intensity = flops / link_bytes if link_bytes else float("inf")
+    achieved = flops / timing.time_s / 1e9
+    peak = gpu.peak_flops / 1e9
+    mem_roof = gpu.l2_bandwidth * intensity / 1e9
+    bound = "memory" if mem_roof < peak else "compute"
+    return RooflinePoint(
+        kernel=kernel.name,
+        gpu=gpu.name,
+        arithmetic_intensity=intensity,
+        achieved_gflops=achieved,
+        peak_gflops=peak,
+        memory_roof_gflops=mem_roof,
+        bound=bound,
+    )
+
+
+def roofline_report(
+    kernels: List[SpMMKernel], a: CSRMatrix, n: int, gpu: GPUSpec
+) -> str:
+    """Multi-kernel roofline comparison as text."""
+    points = [roofline_point(k, a, n, gpu) for k in kernels]
+    header = (
+        f"Roofline on {gpu.name}: peak {gpu.peak_flops / 1e9:.0f} GFLOP/s, "
+        f"link {gpu.l2_bandwidth / 1e9:.0f} GB/s"
+    )
+    return "\n".join([header] + ["  " + p.describe() for p in points])

@@ -1,0 +1,242 @@
+"""Kernel timing model: transactions + occupancy -> simulated time.
+
+A simulated kernel's time is the maximum over parallel resource ceilings
+(pipelines overlap) plus synchronization and launch overheads:
+
+``t = max(t_link, t_dram, t_issue, t_shared, t_compute, t_atomic)
+      + t_sync + launch``
+
+**Memory link time** (usually binding for SpMM) models what the paper's
+profiling chapter establishes: SpMM saturates neither FLOPs nor raw DRAM
+— it is limited by how effectively the kernel can move global-memory
+transactions across the SM<->L2 fabric.  Achievable link bandwidth is the
+device's sustained maximum scaled by three multiplicative factors:
+
+* ``f_width = (avg_request_bytes / 128) ** width_exp`` — narrow requests
+  waste link cycles: Algorithm 1's broadcast loads move 32 useful bytes
+  per slot where a coalesced load moves 128, which is why it cannot reach
+  peak throughput (paper Fig. 2/3).  Coalesced Row Caching exists to
+  raise this factor.
+* ``f_ilp = (min(mlp, mlp_sat) / mlp_ref) ** ilp_exp`` — more independent
+  requests per warp hide more latency; Coarse-grained Warp Merging's CF
+  independent dense loads raise it, with saturation (``mlp_sat``)
+  reflecting LSU queue limits — the reason CF=4 stops helping
+  (paper Table VI: gld throughput 479 -> 568 -> 479 GB/s for CF 1/2/4).
+* ``f_occ = min(1, active_warps / occ_warps_ref)`` — below a critical
+  warp count latency can no longer be hidden; large CF and tiny grids pay
+  here (Table VI's occupancy column; Cora-sized graphs).
+
+On Turing, the unified L1 caches global loads: re-referenced sectors are
+filtered before the link, and the surviving request stream is wider —
+the modelled reason CRC alone gives ~1.0x on RTX 2080 but ~1.25x on
+Pascal (paper Fig. 8).
+
+**DRAM time** filters per-array traffic through an L2 capacity/reuse
+model.  **Issue/compute/shared/atomic** ceilings matter for the
+instruction-heavy baselines (GunRock's per-edge processing, GraphBLAST's
+shuffles).
+
+The exponents and reference constants in :class:`TimingParams` are
+calibration parameters fixed once for *all* kernels and both GPUs by
+``tests/test_calibration.py`` against the paper's aggregate bands;
+EXPERIMENTS.md records the residual paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.memory import KernelStats, SECTOR
+from repro.gpusim.occupancy import LaunchConfig, Occupancy, compute_occupancy
+
+__all__ = ["ExecHints", "TimingParams", "KernelTiming", "estimate_time"]
+
+
+@dataclass(frozen=True)
+class ExecHints:
+    """Kernel-declared execution characteristics the counters cannot carry.
+
+    ``mlp`` is the average number of independent global requests each warp
+    can keep in flight per inner-loop step: ~3 for Algorithm 1 (colind,
+    val and B loads all outstanding), ~1.4 for CRC (a single dense load
+    per consumed element, serialized by the shared-memory walk), and
+    ``1.4 + 0.7*CF`` under warp merging (CF independent accumulator
+    streams).
+
+    ``efficiency`` is a fractional derating of achievable bandwidth for
+    structural handicaps the counters cannot express — e.g. GraphBLAST's
+    single-warp-per-row row-split schedule idles lanes on the short rows
+    that dominate SNAP-style degree distributions.
+    """
+
+    mlp: float = 2.0
+    efficiency: float = 1.0
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Calibration constants of the timing model (device-independent).
+
+    Fixed by ``tests/test_calibration.py``; never tuned per kernel.
+    """
+
+    width_exp: float = 0.5  # request-width bandwidth exponent
+    ilp_exp: float = 0.42  # ILP bandwidth exponent
+    mlp_ref: float = 2.0  # MLP at which f_ilp == 1
+    mlp_sat: float = 3.2  # LSU queue saturation point
+    occ_warps_ref: float = 32.0  # warps/SM needed to hide latency
+    ldst_issue_cycles: float = 2.0  # LSU occupancy per global ld/st inst
+    l1_hit_issue_cycles: float = 1.0  # issue cost when the L1 serves it
+    shared_issue_cycles: float = 1.2  # per shared ld/st inst (conflict-free)
+    atomic_cycles: float = 24.0  # L2 atomic serialization per warp op
+    block_sync_cycles: float = 64.0
+    warp_sync_cycles: float = 2.0
+    l2_local_hit: float = 0.92  # L2 hit rate for short-distance refetches
+    l2_retention: float = 0.8  # usable L2 fraction for capacity reuse
+    streaming_hit_floor: float = 0.6  # scheduling-locality hit floor
+    min_request_bytes: float = 32.0
+    max_request_bytes: float = 128.0
+
+
+@dataclass
+class KernelTiming:
+    """Simulated execution result for one kernel launch."""
+
+    time_s: float
+    stats: KernelStats
+    launch: LaunchConfig
+    occupancy: Occupancy
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    bound_by: str = ""
+    gpu_name: str = ""
+
+    @property
+    def gld_throughput(self) -> float:
+        """nvprof-style global load throughput (bytes/s across L1<->L2)."""
+        busy = max(self.time_s - self.breakdown.get("launch", 0.0), 1e-12)
+        return self.stats.global_load.transactions * SECTOR / busy
+
+    def gflops(self, flop_count: int) -> float:
+        return flop_count / self.time_s / 1e9
+
+
+def estimate_time(
+    stats: KernelStats,
+    launch: LaunchConfig,
+    gpu: GPUSpec,
+    hints: ExecHints = ExecHints(),
+    params: TimingParams = TimingParams(),
+) -> KernelTiming:
+    """Combine access statistics and launch shape into simulated time."""
+    occ = compute_occupancy(launch, gpu)
+    clock = gpu.clock_ghz * 1e9
+    busy_sms = max(min(launch.blocks, gpu.n_sms), 1)
+
+    # ------------------------------------------------------------------
+    # Link traffic (SM <-> L2) after optional L1 filtering
+    # ------------------------------------------------------------------
+    load_sectors_raw = stats.global_load.transactions
+    load_sectors = stats.effective_load_sectors(gpu.l1_caches_global)
+    store_sectors = stats.global_store.transactions
+    link_bytes = (load_sectors + store_sectors) * SECTOR
+
+    gl_requests = stats.global_load.instructions + stats.global_store.instructions
+    if gpu.l1_caches_global and load_sectors_raw > 0:
+        hit_frac = 1.0 - load_sectors / load_sectors_raw
+    else:
+        hit_frac = 0.0
+    # Requests that actually reach the link (L1 hits are filtered out).
+    link_requests = max(gl_requests * (1.0 - hit_frac), 1.0)
+    if link_bytes > 0:
+        avg_request = link_bytes / link_requests
+    else:
+        avg_request = params.max_request_bytes
+    avg_request = min(max(avg_request, params.min_request_bytes), params.max_request_bytes)
+
+    f_width = (avg_request / params.max_request_bytes) ** params.width_exp
+    mlp = min(max(hints.mlp, 1.0), params.mlp_sat)
+    f_ilp = (mlp / params.mlp_ref) ** params.ilp_exp
+    f_occ = min(occ.active_warps_per_sm / params.occ_warps_ref, 1.0)
+    # Partially-filled devices cannot use the full fabric either.
+    f_occ *= min(launch.blocks / gpu.n_sms, 1.0) if launch.blocks else 0.0
+    eff_bw = gpu.l2_bandwidth * min(f_width * f_ilp * max(f_occ, 1e-9), 1.0)
+    eff_bw *= min(max(hints.efficiency, 1e-3), 1.0)
+    t_link = link_bytes / max(eff_bw, 1.0)
+
+    # ------------------------------------------------------------------
+    # DRAM traffic through the L2 capacity/reuse model
+    # ------------------------------------------------------------------
+    dram_bytes = 0.0
+    for traffic in stats.array_traffic.values():
+        total = traffic.sectors * SECTOR
+        refetch = max(total - traffic.unique_bytes, 0)
+        touched = min(traffic.unique_bytes, total)
+        if traffic.reuse_is_local:
+            hit = params.l2_local_hit
+        else:
+            footprint = max(traffic.unique_bytes, 1)
+            capacity_hit = min(1.0, params.l2_retention * gpu.l2_size / footprint)
+            # Block-scheduling locality gives concurrently-resident rows a
+            # chance to share fetches even when the array vastly exceeds
+            # the L2; calibrated floor.
+            hit = max(capacity_hit, params.streaming_hit_floor)
+        dram_bytes += touched + refetch * (1.0 - hit)
+    dram_bytes += store_sectors * SECTOR  # write-back traffic
+    t_dram = dram_bytes / (gpu.dram_bandwidth * max(f_occ, 1e-9))
+
+    # ------------------------------------------------------------------
+    # Instruction pipes
+    # ------------------------------------------------------------------
+    per_request = (
+        params.ldst_issue_cycles * (1.0 - hit_frac)
+        + params.l1_hit_issue_cycles * hit_frac
+    )
+    shared_insts = stats.shared_load.instructions + stats.shared_store.instructions
+    shared_extra_passes = max(
+        stats.shared_load.transactions + stats.shared_store.transactions - shared_insts, 0
+    )
+    issue_cycles = (
+        gl_requests * per_request
+        + shared_insts * params.shared_issue_cycles
+        + shared_extra_passes  # bank-conflict replays, one cycle each
+    )
+    t_issue = issue_cycles / (busy_sms * clock)
+
+    fma_warp_insts = stats.flops / (2.0 * gpu.warp_size)
+    alu_rate = busy_sms * (gpu.cores_per_sm / gpu.warp_size) * clock
+    t_compute = (fma_warp_insts + stats.alu_instructions) / alu_rate
+    shared_passes = stats.shared_load.transactions + stats.shared_store.transactions
+    t_shared = shared_passes / (busy_sms * clock)
+    t_atomic = stats.atomic_ops * params.atomic_cycles / (busy_sms * clock)
+
+    resident_blocks = max(occ.blocks_per_sm, 1)
+    t_sync = (
+        stats.block_syncs * params.block_sync_cycles
+        + stats.warp_syncs * params.warp_sync_cycles
+    ) / (busy_sms * clock * resident_blocks)
+
+    components = {
+        "dram": t_dram,
+        "l2_link": t_link,
+        "issue": t_issue,
+        "shared": t_shared,
+        "compute": t_compute,
+        "atomics": t_atomic,
+    }
+    bound_by = max(components, key=components.get)
+    time_s = max(components.values()) + t_sync + gpu.launch_overhead_s
+    breakdown = dict(components)
+    breakdown["sync"] = t_sync
+    breakdown["launch"] = gpu.launch_overhead_s
+
+    return KernelTiming(
+        time_s=time_s,
+        stats=stats,
+        launch=launch,
+        occupancy=occ,
+        breakdown=breakdown,
+        bound_by=bound_by,
+        gpu_name=gpu.name,
+    )

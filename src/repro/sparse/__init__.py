@@ -1,0 +1,81 @@
+"""Sparse-matrix substrate: CSR container, generators, reference ops,
+and the preprocess-based formats used by comparison baselines."""
+
+from repro.sparse.csr import CSRMatrix, csr_from_coo, csr_from_dense, csr_from_scipy
+from repro.sparse.formats import ASpTFormat, EllpackR, to_aspt, to_ellpack_r
+from repro.sparse.sampling import (
+    SampledBatch,
+    batch_stream,
+    induced_subgraph,
+    neighbor_sample,
+    neighbor_sample_layers,
+)
+from repro.sparse.stats import MatrixProfile, analyze, gini, row_length_histogram
+from repro.sparse.generators import (
+    banded_random,
+    erdos_renyi_nnz,
+    power_law,
+    rmat,
+    uniform_random,
+)
+from repro.sparse.convert import (
+    csr_to_aspt_time,
+    csr_to_csc,
+    csr_to_csc_time,
+    csr_to_ellpack_time,
+    dense_transpose_time,
+)
+from repro.sparse.io import (
+    load_npz,
+    read_matrix_market,
+    read_snap_edgelist,
+    save_npz,
+    write_matrix_market,
+    write_snap_edgelist,
+)
+from repro.sparse.ops import (
+    flops_of_spmm,
+    reference_spmm,
+    reference_spmm_like,
+    reference_spmv,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "csr_from_coo",
+    "csr_from_dense",
+    "csr_from_scipy",
+    "EllpackR",
+    "ASpTFormat",
+    "to_ellpack_r",
+    "to_aspt",
+    "uniform_random",
+    "power_law",
+    "rmat",
+    "banded_random",
+    "erdos_renyi_nnz",
+    "reference_spmm",
+    "reference_spmm_like",
+    "reference_spmv",
+    "flops_of_spmm",
+    "SampledBatch",
+    "neighbor_sample",
+    "neighbor_sample_layers",
+    "induced_subgraph",
+    "batch_stream",
+    "MatrixProfile",
+    "analyze",
+    "gini",
+    "row_length_histogram",
+    "csr_to_csc",
+    "csr_to_csc_time",
+    "csr_to_ellpack_time",
+    "csr_to_aspt_time",
+    "dense_transpose_time",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_snap_edgelist",
+    "write_snap_edgelist",
+    "save_npz",
+    "load_npz",
+]

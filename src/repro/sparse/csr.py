@@ -1,0 +1,274 @@
+"""Compressed Sparse Row (CSR) matrix substrate.
+
+GE-SpMM (Huang et al., SC 2020) deliberately operates on plain CSR — the
+format shared by cuSPARSE, SciPy and every GNN framework — so that the
+kernel can be dropped into a framework with *zero* preprocessing or format
+conversion.  This module is the reproduction's equivalent of that common
+substrate: a validated, immutable CSR container with the conversions the
+rest of the library (kernels, GNN layers, datasets, benchmarks) builds on.
+
+Index arrays are ``int32`` and values ``float32``, matching the paper's
+single-precision GPU setting; a 32-byte memory sector therefore holds 8
+elements, which is what the coalescing model in :mod:`repro.gpusim.memory`
+assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["CSRMatrix", "csr_from_coo", "csr_from_dense", "csr_from_scipy"]
+
+INDEX_DTYPE = np.int32
+VALUE_DTYPE = np.float32
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An ``M x K`` sparse matrix in CSR form.
+
+    Attributes
+    ----------
+    shape:
+        ``(M, K)`` logical dimensions.
+    rowptr:
+        ``int32[M + 1]``; ``rowptr[i]:rowptr[i+1]`` delimits row ``i``'s
+        slice of ``colind``/``values``.
+    colind:
+        ``int32[nnz]`` column index of each stored element, sorted within
+        each row.
+    values:
+        ``float32[nnz]`` stored element values.
+    """
+
+    shape: Tuple[int, int]
+    rowptr: np.ndarray
+    colind: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", (int(self.shape[0]), int(self.shape[1])))
+        object.__setattr__(self, "rowptr", np.ascontiguousarray(self.rowptr, dtype=INDEX_DTYPE))
+        object.__setattr__(self, "colind", np.ascontiguousarray(self.colind, dtype=INDEX_DTYPE))
+        object.__setattr__(self, "values", np.ascontiguousarray(self.values, dtype=VALUE_DTYPE))
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction-time invariants
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        m, k = self.shape
+        if m < 0 or k < 0:
+            raise ValueError(f"negative dimensions {self.shape!r}")
+        if self.rowptr.ndim != 1 or self.rowptr.shape[0] != m + 1:
+            raise ValueError(f"rowptr must have length M+1={m + 1}, got {self.rowptr.shape}")
+        if self.rowptr[0] != 0:
+            raise ValueError("rowptr[0] must be 0")
+        if self.colind.shape != self.values.shape or self.colind.ndim != 1:
+            raise ValueError("colind and values must be 1-D arrays of equal length")
+        if self.rowptr[-1] != self.colind.shape[0]:
+            raise ValueError(
+                f"rowptr[-1]={int(self.rowptr[-1])} disagrees with nnz={self.colind.shape[0]}"
+            )
+        if np.any(np.diff(self.rowptr) < 0):
+            raise ValueError("rowptr must be non-decreasing")
+        if self.nnz:
+            if self.colind.min() < 0 or self.colind.max() >= k:
+                raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored elements (= directed edges of the graph)."""
+        return int(self.colind.shape[0])
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row_lengths(self) -> np.ndarray:
+        """``int64[M]`` number of stored elements per row (out-degrees)."""
+        return np.diff(self.rowptr.astype(np.int64))
+
+    def row_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(colind, values)`` views for row ``i``."""
+        lo, hi = int(self.rowptr[i]), int(self.rowptr[i + 1])
+        return self.colind[lo:hi], self.values[lo:hi]
+
+    def mean_row_length(self) -> float:
+        return self.nnz / max(self.nrows, 1)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ``float32[M, K]`` array (small inputs)."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+        # Duplicate (row, col) entries accumulate, matching COO semantics.
+        np.add.at(out, (rows, self.colind.astype(np.int64)), self.values)
+        return out
+
+    def to_scipy(self):
+        """Convert to :class:`scipy.sparse.csr_matrix` (oracle computations)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.values, self.colind, self.rowptr), shape=self.shape
+        )
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, values)`` in row-major order."""
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_lengths()
+        )
+        return rows, self.colind.copy(), self.values.copy()
+
+    def transpose(self) -> "CSRMatrix":
+        """Return :math:`A^T` as a new CSR matrix (used by autograd:
+        the backward pass of ``C = A @ B`` is ``dB = A^T @ dC``)."""
+        rows, cols, vals = self.to_coo()
+        return csr_from_coo(cols, rows, vals, shape=(self.ncols, self.nrows))
+
+    def with_values(self, values: np.ndarray) -> "CSRMatrix":
+        """Return a matrix with the same pattern but new values."""
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if values.shape != self.values.shape:
+            raise ValueError("value array shape must match the sparsity pattern")
+        return CSRMatrix(self.shape, self.rowptr, self.colind, values)
+
+    def sorted_rows(self) -> "CSRMatrix":
+        """Return a copy whose column indices are sorted within each row."""
+        rows, cols, vals = self.to_coo()
+        return csr_from_coo(rows, cols, vals, shape=self.shape)
+
+    # ------------------------------------------------------------------
+    # Graph-normalization helpers used by the GNN substrate
+    # ------------------------------------------------------------------
+    def row_normalized(self) -> "CSRMatrix":
+        """Divide each row by its sum (mean aggregation, GraphSAGE-GCN)."""
+        sums = np.zeros(self.nrows, dtype=np.float64)
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+        np.add.at(sums, rows, self.values.astype(np.float64))
+        scale = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums != 0)
+        return self.with_values(self.values * scale[rows].astype(VALUE_DTYPE))
+
+    def sym_normalized(self) -> "CSRMatrix":
+        """Symmetric normalization ``D^{-1/2} A D^{-1/2}`` (GCN, Kipf & Welling)."""
+        deg = np.zeros(max(self.nrows, self.ncols), dtype=np.float64)
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+        np.add.at(deg, rows, self.values.astype(np.float64))
+        inv_sqrt = np.divide(1.0, np.sqrt(deg), out=np.zeros_like(deg), where=deg > 0)
+        scaled = self.values * (inv_sqrt[rows] * inv_sqrt[self.colind.astype(np.int64)]).astype(
+            VALUE_DTYPE
+        )
+        return self.with_values(scaled)
+
+    def add_self_loops(self, weight: float = 1.0) -> "CSRMatrix":
+        """Return ``A + weight * I`` (square matrices only), deduplicating
+        any existing diagonal entry by accumulation."""
+        if self.nrows != self.ncols:
+            raise ValueError("self loops require a square matrix")
+        rows, cols, vals = self.to_coo()
+        eye = np.arange(self.nrows, dtype=INDEX_DTYPE)
+        rows = np.concatenate([rows, eye])
+        cols = np.concatenate([cols, eye])
+        vals = np.concatenate([vals, np.full(self.nrows, weight, dtype=VALUE_DTYPE)])
+        return csr_from_coo(rows, cols, vals, shape=self.shape, sum_duplicates=True)
+
+    # ------------------------------------------------------------------
+    # Equality / repr
+    # ------------------------------------------------------------------
+    def pattern_equal(self, other: "CSRMatrix") -> bool:
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.rowptr, other.rowptr)
+            and np.array_equal(self.colind, other.colind)
+        )
+
+    def allclose(self, other: "CSRMatrix", rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+        return self.pattern_equal(other) and np.allclose(
+            self.values, other.values, rtol=rtol, atol=atol
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"nnz/row={self.mean_row_length():.2f})"
+        )
+
+
+def csr_from_coo(
+    rows: Iterable[int],
+    cols: Iterable[int],
+    values: Iterable[float] = None,
+    *,
+    shape: Tuple[int, int],
+    sum_duplicates: bool = False,
+) -> CSRMatrix:
+    """Build a :class:`CSRMatrix` from COO triplets.
+
+    Entries are sorted into row-major order with column indices ascending
+    within each row.  When ``sum_duplicates`` is true, repeated ``(i, j)``
+    coordinates are accumulated; otherwise duplicates are kept verbatim
+    (CSR permits them, and SpMM sums them naturally).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise ValueError("rows and cols must be equal-length 1-D arrays")
+    if values is None:
+        values = np.ones(rows.shape[0], dtype=VALUE_DTYPE)
+    values = np.asarray(values, dtype=VALUE_DTYPE)
+    if values.shape != rows.shape:
+        raise ValueError("values must match rows/cols length")
+    m, k = int(shape[0]), int(shape[1])
+    if rows.size:
+        if rows.min() < 0 or rows.max() >= m:
+            raise ValueError("row index out of range")
+        if cols.min() < 0 or cols.max() >= k:
+            raise ValueError("column index out of range")
+
+    order = np.lexsort((cols, rows))
+    rows, cols, values = rows[order], cols[order], values[order]
+
+    if sum_duplicates and rows.size:
+        keys = rows * np.int64(k) + cols
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        summed = np.zeros(uniq.shape[0], dtype=np.float64)
+        np.add.at(summed, inverse, values.astype(np.float64))
+        rows = (uniq // k).astype(np.int64)
+        cols = (uniq % k).astype(np.int64)
+        values = summed.astype(VALUE_DTYPE)
+
+    rowptr = np.zeros(m + 1, dtype=np.int64)
+    np.add.at(rowptr, rows + 1, 1)
+    np.cumsum(rowptr, out=rowptr)
+    return CSRMatrix((m, k), rowptr, cols, values)
+
+
+def csr_from_dense(dense: np.ndarray, *, tol: float = 0.0) -> CSRMatrix:
+    """Convert a dense 2-D array to CSR, dropping entries with
+    ``|x| <= tol``."""
+    dense = np.asarray(dense)
+    if dense.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    mask = np.abs(dense) > tol
+    rows, cols = np.nonzero(mask)
+    return csr_from_coo(rows, cols, dense[rows, cols], shape=dense.shape)
+
+
+def csr_from_scipy(mat) -> CSRMatrix:
+    """Convert any SciPy sparse matrix to a :class:`CSRMatrix`."""
+    csr = mat.tocsr()
+    csr.sort_indices()
+    return CSRMatrix(csr.shape, csr.indptr, csr.indices, csr.data)

@@ -1,0 +1,160 @@
+"""Vectorized random-graph / sparse-matrix generators.
+
+The paper evaluates on (a) synthetic uniform random matrices generated with
+Ligra's random generator (Section V-B: M=16K/65K/262K with nnz = 10*M),
+(b) the three citation graphs, and (c) 64 SNAP matrices.  Real traces are
+not available offline, so these generators produce structure-matched
+synthetic twins: what the kernels and the memory model actually respond to
+is the row-length distribution, matrix scale, and column locality, all of
+which are controllable here.
+
+All generators are deterministic given ``seed`` and vectorized (no
+per-edge Python loops), per the HPC-Python guidance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, csr_from_coo
+
+__all__ = [
+    "uniform_random",
+    "power_law",
+    "rmat",
+    "banded_random",
+    "erdos_renyi_nnz",
+]
+
+
+def _finish(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    m: int,
+    k: int,
+    seed: int,
+    weighted: bool,
+) -> CSRMatrix:
+    # Deduplicate the pattern first, then draw values, so duplicate draws
+    # never inflate weights (adjacency weights stay in their stated range).
+    pattern = csr_from_coo(rows, cols, None, shape=(m, k), sum_duplicates=True)
+    if weighted:
+        rng = np.random.default_rng(seed + 0x9E3779B9)
+        vals = rng.uniform(0.5, 1.5, size=pattern.nnz).astype(np.float32)
+    else:
+        vals = np.ones(pattern.nnz, dtype=np.float32)
+    return pattern.with_values(vals)
+
+
+def uniform_random(
+    m: int, nnz: int, k: int | None = None, *, seed: int = 0, weighted: bool = False
+) -> CSRMatrix:
+    """Uniform random matrix à la Ligra's ``rMatGraph``-free generator:
+    ``nnz`` entries with independently uniform row and column coordinates.
+
+    This is the generator behind the paper's profiling matrices
+    (M=65K, nnz=650K, ...).  Duplicate coordinates are merged, so the
+    realized nnz can be marginally below the request for dense settings.
+    """
+    k = m if k is None else k
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, m, size=nnz, dtype=np.int64)
+    cols = rng.integers(0, k, size=nnz, dtype=np.int64)
+    return _finish(rows, cols, m, k, seed, weighted)
+
+
+def power_law(
+    m: int,
+    nnz: int,
+    *,
+    exponent: float = 2.1,
+    seed: int = 0,
+    weighted: bool = False,
+    k: int | None = None,
+) -> CSRMatrix:
+    """Chung–Lu style power-law graph: expected degree of vertex ``v`` is
+    proportional to ``(v + 1) ** (-1 / (exponent - 1))``.
+
+    Social / web graphs in SNAP have heavy-tailed degree distributions;
+    this generator reproduces the load imbalance (a few very long rows,
+    many short ones) that stresses warp-per-row kernels.
+    """
+    k = m if k is None else k
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    w = ranks ** (-1.0 / (exponent - 1.0))
+    p = w / w.sum()
+    rows = rng.choice(m, size=nnz, p=p)
+    # Columns follow the same skew (hubs attract edges on both sides) but
+    # with an independent permutation so the diagonal is not artificially
+    # dense.
+    perm = rng.permutation(k)
+    cols = perm[rng.choice(min(m, k), size=nnz, p=p[: min(m, k)] / p[: min(m, k)].sum())]
+    return _finish(rows, cols, m, k, seed, weighted)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weighted: bool = False,
+) -> CSRMatrix:
+    """Recursive-MATrix (Graph500) generator: ``2**scale`` vertices,
+    ``edge_factor * 2**scale`` edges with self-similar community structure.
+
+    RMAT produces the clustered column locality that ASpT's locally-dense
+    tiling exploits, so it is the stress generator for the preprocessing
+    baseline comparison (Table VIII).
+    """
+    m = 1 << scale
+    nnz = edge_factor * m
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(nnz, dtype=np.int64)
+    cols = np.zeros(nnz, dtype=np.int64)
+    # Vectorized bit-by-bit recursive descent: at each of `scale` levels,
+    # choose one of the four quadrants for every edge at once.
+    pa, pb, pc = a, b, c
+    for level in range(scale):
+        r = rng.random(nnz)
+        quad_b = (r >= pa) & (r < pa + pb)
+        quad_c = (r >= pa + pb) & (r < pa + pb + pc)
+        quad_d = r >= pa + pb + pc
+        bit = 1 << (scale - level - 1)
+        rows += bit * (quad_c | quad_d)
+        cols += bit * (quad_b | quad_d)
+    return _finish(rows, cols, m, m, seed, weighted)
+
+
+def banded_random(
+    m: int,
+    nnz: int,
+    bandwidth: int,
+    *,
+    seed: int = 0,
+    weighted: bool = False,
+) -> CSRMatrix:
+    """Random matrix with entries confined to a diagonal band — models
+    road networks and meshes (high column locality, near-uniform short
+    rows)."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, m, size=nnz, dtype=np.int64)
+    offsets = rng.integers(-bandwidth, bandwidth + 1, size=nnz, dtype=np.int64)
+    cols = np.clip(rows + offsets, 0, m - 1)
+    return _finish(rows, cols, m, m, seed, weighted)
+
+
+def erdos_renyi_nnz(m: int, k: int, nnz: int, *, seed: int = 0) -> CSRMatrix:
+    """Exactly-``nnz`` Erdős–Rényi matrix via sampling without replacement
+    (small matrices only; used by tests that need exact counts)."""
+    total = m * k
+    if nnz > total:
+        raise ValueError("nnz exceeds matrix capacity")
+    rng = np.random.default_rng(seed)
+    flat = rng.choice(total, size=nnz, replace=False)
+    rows, cols = np.divmod(flat, k)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    return csr_from_coo(rows, cols, vals, shape=(m, k))

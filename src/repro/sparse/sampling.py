@@ -1,0 +1,171 @@
+"""Graph sampling: the sampled-batch training scenario.
+
+One of the paper's core compatibility arguments (Sections I/II-B): in
+*sampled batch training* "the sampled subgraphs are different for each
+batch", so any kernel that needs per-matrix preprocessing (ASpT,
+Fastspmm) pays it on every batch, while CSR-native GE-SpMM pays nothing.
+This module implements the GraphSAGE-style samplers that produce those
+per-batch subgraphs, enabling the amortization benchmark
+(``benchmarks/bench_ext_sampling.py``) and the sampled-training example.
+
+All samplers are vectorized and deterministic given a generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix, csr_from_coo
+
+__all__ = [
+    "SampledBatch",
+    "neighbor_sample",
+    "neighbor_sample_layers",
+    "induced_subgraph",
+    "batch_stream",
+]
+
+
+@dataclass(frozen=True)
+class SampledBatch:
+    """A minibatch: seed nodes, sampled block adjacency, node mapping.
+
+    ``block`` is the bipartite aggregation matrix: rows = output nodes
+    (seeds), columns = input nodes (seeds + sampled neighbors), entries =
+    sampled edges.  ``nodes`` maps block columns back to global ids.
+    """
+
+    seeds: np.ndarray  # int64[batch]
+    nodes: np.ndarray  # int64[n_inputs]; nodes[:batch] == seeds
+    block: CSRMatrix  # (batch, n_inputs)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.seeds.size)
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.nodes.size)
+
+
+def neighbor_sample(
+    graph: CSRMatrix,
+    seeds: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+) -> SampledBatch:
+    """GraphSAGE one-hop neighbor sampling.
+
+    For each seed, keep at most ``fanout`` of its out-edges (uniformly,
+    without replacement); relabel the touched nodes compactly.
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size == 0:
+        raise ValueError("empty seed set")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    src_rows: List[np.ndarray] = []
+    dst_cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    for out_row, s in enumerate(seeds):
+        cols, v = graph.row_slice(int(s))
+        deg = cols.size
+        if deg == 0:
+            continue
+        if deg > fanout:
+            pick = rng.choice(deg, size=fanout, replace=False)
+            cols, v = cols[pick], v[pick]
+        src_rows.append(np.full(cols.size, out_row, dtype=np.int64))
+        dst_cols.append(cols.astype(np.int64))
+        vals.append(v)
+    if src_rows:
+        rows = np.concatenate(src_rows)
+        cols = np.concatenate(dst_cols)
+        values = np.concatenate(vals)
+    else:
+        rows = np.zeros(0, dtype=np.int64)
+        cols = np.zeros(0, dtype=np.int64)
+        values = np.zeros(0, dtype=np.float32)
+
+    # Compact relabeling: seeds first (so self features line up), then
+    # newly-touched neighbors in first-seen order.
+    seen = dict((int(s), i) for i, s in enumerate(seeds))
+    extra: List[int] = []
+    remapped = np.empty(cols.size, dtype=np.int64)
+    for i, c in enumerate(cols.tolist()):
+        idx = seen.get(c)
+        if idx is None:
+            idx = len(seeds) + len(extra)
+            seen[c] = idx
+            extra.append(c)
+        remapped[i] = idx
+    nodes = np.concatenate([seeds, np.asarray(extra, dtype=np.int64)])
+    block = csr_from_coo(
+        rows, remapped, values, shape=(seeds.size, nodes.size), sum_duplicates=True
+    )
+    return SampledBatch(seeds=seeds, nodes=nodes, block=block)
+
+
+def neighbor_sample_layers(
+    graph: CSRMatrix,
+    seeds: np.ndarray,
+    fanouts: List[int],
+    rng: np.random.Generator,
+) -> List[SampledBatch]:
+    """Multi-hop GraphSAGE sampling: one block per layer, innermost first.
+
+    ``fanouts[i]`` is the fanout of layer ``i`` (input side first), as in
+    DGL's ``MultiLayerNeighborSampler``.  The returned list is ordered
+    from the layer applied first (widest input set) to the output layer,
+    whose rows are the original seeds.
+    """
+    if not fanouts:
+        raise ValueError("need at least one fanout")
+    blocks: List[SampledBatch] = []
+    frontier = np.asarray(seeds, dtype=np.int64)
+    # Build outward from the seeds (output layer first), then reverse.
+    for fanout in reversed(fanouts):
+        batch = neighbor_sample(graph, frontier, fanout, rng)
+        blocks.append(batch)
+        frontier = batch.nodes  # next layer must cover all inputs
+    blocks.reverse()
+    return blocks
+
+
+def induced_subgraph(graph: CSRMatrix, nodes: np.ndarray) -> CSRMatrix:
+    """Subgraph induced on ``nodes`` (relabeled 0..len-1), keeping edges
+    whose both endpoints are selected."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if np.unique(nodes).size != nodes.size:
+        raise ValueError("duplicate nodes in selection")
+    lookup = -np.ones(graph.ncols, dtype=np.int64)
+    lookup[nodes] = np.arange(nodes.size)
+    rows, cols, vals = graph.to_coo()
+    keep = (lookup[rows] >= 0) & (lookup[cols.astype(np.int64)] >= 0)
+    return csr_from_coo(
+        lookup[rows[keep]],
+        lookup[cols[keep].astype(np.int64)],
+        vals[keep],
+        shape=(nodes.size, nodes.size),
+    )
+
+
+def batch_stream(
+    graph: CSRMatrix,
+    batch_size: int,
+    fanout: int,
+    n_batches: int,
+    seed: int = 0,
+    population: Optional[np.ndarray] = None,
+):
+    """Yield ``n_batches`` sampled batches over shuffled seed nodes —
+    the workload shape of GraphSAGE minibatch training, where *every*
+    batch is a fresh sparse matrix (the preprocess-hostile regime)."""
+    rng = np.random.default_rng(seed)
+    pool = population if population is not None else np.arange(graph.nrows, dtype=np.int64)
+    for _ in range(n_batches):
+        seeds = rng.choice(pool, size=min(batch_size, pool.size), replace=False)
+        yield neighbor_sample(graph, seeds, fanout, rng)

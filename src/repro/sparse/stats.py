@@ -1,0 +1,90 @@
+"""Structural analysis of sparse matrices.
+
+The kernels' relative performance is driven by a handful of structural
+quantities — row-length distribution (load balance for warp-per-row
+designs), column locality (L2/ASpT tile reuse), and size regime (launch-
+bound vs bandwidth-bound).  This module computes them; the analyzer is
+used by examples, the CLI, and the load-balance discussion in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["MatrixProfile", "analyze", "row_length_histogram", "gini"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0 = perfectly
+    balanced rows, -> 1 = all nonzeros in one row)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0 or v.sum() == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def row_length_histogram(a: CSRMatrix, buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)) -> Dict[str, int]:
+    """Row counts per length bucket (the warp-utilization picture)."""
+    lengths = a.row_lengths()
+    edges = list(buckets) + [np.inf]
+    out: Dict[str, int] = {}
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        label = f"{lo}" if hi == lo + 1 else (f"{lo}-{int(hi) - 1}" if np.isfinite(hi) else f">={lo}")
+        out[label] = int(((lengths >= lo) & (lengths < hi)).sum())
+    return out
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """Summary statistics a kernel engineer reads before choosing a design."""
+
+    m: int
+    k: int
+    nnz: int
+    mean_row: float
+    max_row: int
+    empty_rows: int
+    row_gini: float  # load imbalance
+    tile_occupancy: float  # mean fill of occupied 32-column tiles (locality)
+    short_row_fraction: float  # rows shorter than a warp
+
+    def summary(self) -> str:
+        return (
+            f"{self.m}x{self.k}, nnz={self.nnz} (nnz/row {self.mean_row:.2f}, "
+            f"max {self.max_row}, {self.empty_rows} empty)\n"
+            f"  row imbalance (gini)   {self.row_gini:.3f}\n"
+            f"  short rows (<32)       {self.short_row_fraction * 100:.1f}%\n"
+            f"  column-tile occupancy  {self.tile_occupancy:.2f} nnz per occupied 32-col tile"
+        )
+
+
+def analyze(a: CSRMatrix, tile_width: int = 32) -> MatrixProfile:
+    """Compute the :class:`MatrixProfile` of ``a`` (vectorized)."""
+    lengths = a.row_lengths()
+    if a.nnz:
+        rows = np.repeat(np.arange(a.nrows, dtype=np.int64), lengths)
+        tiles = rows * ((a.ncols + tile_width - 1) // tile_width) + (
+            a.colind.astype(np.int64) // tile_width
+        )
+        occupied = np.unique(tiles).size
+        tile_occ = a.nnz / occupied
+    else:
+        tile_occ = 0.0
+    return MatrixProfile(
+        m=a.nrows,
+        k=a.ncols,
+        nnz=a.nnz,
+        mean_row=a.mean_row_length(),
+        max_row=int(lengths.max()) if a.nrows else 0,
+        empty_rows=int((lengths == 0).sum()),
+        row_gini=gini(lengths),
+        tile_occupancy=float(tile_occ),
+        short_row_fraction=float((lengths < 32).mean()) if a.nrows else 0.0,
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the unit/integration test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import csr_from_coo, uniform_random
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_csr():
+    """The paper's Fig. 4 example matrix (4x4, 7 nonzeros)."""
+    rows = [0, 0, 1, 2, 2, 2, 3]
+    cols = [1, 2, 0, 1, 2, 3, 2]
+    vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    return csr_from_coo(rows, cols, vals, shape=(4, 4))
+
+
+@pytest.fixture
+def medium_csr():
+    return uniform_random(m=300, nnz=2400, seed=7)
+
+
+@pytest.fixture
+def dense_b(rng, medium_csr):
+    return rng.random((medium_csr.ncols, 40), dtype=np.float32)

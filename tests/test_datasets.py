@@ -1,0 +1,109 @@
+"""Tests for the citation twins and the SNAP-like suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CITATION_STATS,
+    SNAP_CATALOG,
+    catalog_names,
+    load_citation,
+    load_cora,
+    load_graph,
+    load_suite,
+)
+
+
+class TestCitation:
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "pubmed"])
+    def test_published_statistics(self, name):
+        m, edges, classes, feat = CITATION_STATS[name]
+        ds = load_citation(name)
+        assert ds.n_nodes == m
+        assert ds.n_classes == classes
+        assert ds.feature_dim == feat
+        # Directed nnz ~ 2x undirected edge count (duplicates collapse).
+        assert 1.6 * edges <= ds.graph.nnz <= 2.0 * edges
+        assert set(np.unique(ds.labels)) == set(range(classes))
+
+    def test_masks_disjoint_and_sized(self):
+        ds = load_cora()
+        assert not (ds.train_mask & ds.val_mask).any()
+        assert not (ds.train_mask & ds.test_mask).any()
+        assert not (ds.val_mask & ds.test_mask).any()
+        assert ds.train_mask.sum() == 20 * ds.n_classes  # Planetoid split
+        assert ds.val_mask.sum() == 500
+        assert ds.test_mask.sum() == 1000
+
+    def test_features_class_correlated(self):
+        ds = load_cora()
+        # Same-class feature vectors overlap more than cross-class ones.
+        sims = ds.features @ ds.features.T
+        same = labels_eq = ds.labels[:, None] == ds.labels[None, :]
+        np.fill_diagonal(labels_eq, False)
+        assert sims[labels_eq].mean() > 1.5 * sims[~labels_eq].mean()
+
+    def test_memoized(self):
+        assert load_citation("cora") is load_citation("cora")
+        assert load_citation("cora", seed=8) is not load_citation("cora", seed=9)
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(KeyError):
+            load_citation("reddit")
+
+    def test_normalized_adjacency_spectral_bound(self):
+        ds = load_cora()
+        adj = ds.normalized_adjacency()
+        # Sym-normalized adjacency with self loops has row sums <= ~1 and
+        # all entries positive.
+        assert adj.values.min() > 0
+        assert adj.nnz == ds.graph.nnz + ds.n_nodes
+
+
+class TestSnapSuite:
+    def test_catalog_has_64(self):
+        assert len(SNAP_CATALOG) == 64
+        assert len(set(e.name for e in SNAP_CATALOG)) == 64
+
+    def test_catalog_size_ranges_match_paper(self):
+        ms = [e.m for e in SNAP_CATALOG]
+        ratios = [e.nnz / e.m for e in SNAP_CATALOG]
+        assert min(ms) == 1005 and max(ms) == 4_847_571
+        assert 1.4 < min(ratios) < 2.0  # paper: nnz/row from 1.58
+        assert 25 < max(ratios) < 40  # ... to 32.53
+
+    def test_names_sorted(self):
+        names = catalog_names()
+        assert names == sorted(names)
+        assert len(names) == 64
+
+    def test_scaling_preserves_density(self):
+        entry = next(e for e in SNAP_CATALOG if e.nnz > 2_000_000)
+        g = load_graph(entry.name, max_nnz=100_000)
+        assert g.nnz <= 105_000
+        want_density = entry.nnz / entry.m
+        assert g.mean_row_length() == pytest.approx(want_density, rel=0.35)
+
+    def test_unscaled_small_graph(self):
+        g = load_graph("wiki-Vote", max_nnz=300_000)
+        entry = next(e for e in SNAP_CATALOG if e.name == "wiki-Vote")
+        assert g.nrows == entry.m  # below the cap: full size
+
+    def test_memoized(self):
+        assert load_graph("ca-GrQc") is load_graph("ca-GrQc")
+
+    def test_subset_loading(self):
+        suite = load_suite(max_nnz=50_000, names=["ca-GrQc", "wiki-Vote"])
+        assert list(suite) == ["ca-GrQc", "wiki-Vote"]
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(KeyError):
+            load_graph("friendster")
+
+    def test_family_structure(self):
+        road = load_graph("roadNet-CA", max_nnz=60_000)
+        social = load_graph("soc-Epinions1", max_nnz=60_000)
+        # Road networks: near-uniform short rows.  Social: heavy tail.
+        road_cv = road.row_lengths().std() / max(road.mean_row_length(), 1e-9)
+        soc_cv = social.row_lengths().std() / max(social.mean_row_length(), 1e-9)
+        assert soc_cv > 2 * road_cv

@@ -1,0 +1,73 @@
+"""Tests for the preprocess-based sparse formats (ELLPACK-R, ASpT)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    banded_random,
+    csr_from_coo,
+    to_aspt,
+    to_ellpack_r,
+    uniform_random,
+)
+
+
+class TestEllpackR:
+    def test_roundtrip_product(self, medium_csr, dense_b):
+        ell = to_ellpack_r(medium_csr)
+        want = medium_csr.to_scipy() @ dense_b
+        np.testing.assert_allclose(ell.to_dense_product(dense_b), want, rtol=1e-4, atol=1e-5)
+
+    def test_width_is_max_row(self, small_csr):
+        ell = to_ellpack_r(small_csr)
+        assert ell.width == 3
+        assert ell.row_lengths.tolist() == [2, 1, 3, 1]
+
+    def test_padding_ratio(self, small_csr):
+        ell = to_ellpack_r(small_csr)
+        assert ell.padding_ratio == pytest.approx(4 * 3 / 7)
+
+    def test_padding_blows_up_on_skew(self):
+        # One hub row of 100 nonzeros + 99 empty rows: ELLPACK pads hard.
+        a = csr_from_coo(np.zeros(100, dtype=int), np.arange(100), np.ones(100), shape=(100, 100))
+        ell = to_ellpack_r(a)
+        assert ell.padding_ratio == pytest.approx(100.0)
+
+    def test_preprocess_cost_counted(self, medium_csr):
+        ell = to_ellpack_r(medium_csr)
+        assert ell.preprocess_elements >= medium_csr.nnz
+
+    def test_empty_matrix(self):
+        ell = to_ellpack_r(csr_from_coo([], [], [], shape=(3, 3)))
+        assert ell.width == 1  # degenerate minimum slab
+        out = ell.to_dense_product(np.ones((3, 2), dtype=np.float32))
+        assert not out.any()
+
+
+class TestASpT:
+    def test_dense_fraction_bounds(self, medium_csr):
+        fmt = to_aspt(medium_csr)
+        assert 0.0 <= fmt.dense_fraction <= 1.0
+
+    def test_banded_denser_than_uniform(self):
+        band = banded_random(8000, 160_000, bandwidth=8, seed=1)
+        unif = uniform_random(8000, 160_000, seed=1)
+        assert to_aspt(band).dense_fraction > to_aspt(unif).dense_fraction
+
+    def test_threshold_monotonicity(self, medium_csr):
+        loose = to_aspt(medium_csr, dense_threshold=1)
+        strict = to_aspt(medium_csr, dense_threshold=10_000)
+        assert loose.dense_fraction >= strict.dense_fraction
+        assert loose.dense_fraction == 1.0  # every occupied tile qualifies
+        assert strict.dense_fraction == 0.0
+
+    def test_preprocess_elements_three_passes(self, medium_csr):
+        fmt = to_aspt(medium_csr)
+        assert fmt.preprocess_elements == 3 * medium_csr.nnz + medium_csr.nrows
+
+    def test_empty_matrix(self):
+        fmt = to_aspt(csr_from_coo([], [], [], shape=(4, 4)))
+        assert fmt.dense_fraction == 0.0
+
+    def test_shape_passthrough(self, medium_csr):
+        assert to_aspt(medium_csr).shape == medium_csr.shape

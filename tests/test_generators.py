@@ -1,0 +1,93 @@
+"""Tests for the random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import banded_random, erdos_renyi_nnz, power_law, rmat, uniform_random
+
+
+class TestUniformRandom:
+    def test_shape_and_nnz(self):
+        g = uniform_random(m=1000, nnz=10_000, seed=0)
+        assert g.shape == (1000, 1000)
+        # Duplicates merge, so realized nnz is close to but <= requested.
+        assert 9_500 <= g.nnz <= 10_000
+
+    def test_deterministic(self):
+        a = uniform_random(500, 4000, seed=3)
+        b = uniform_random(500, 4000, seed=3)
+        assert a.allclose(b)
+
+    def test_seed_changes_graph(self):
+        a = uniform_random(500, 4000, seed=3)
+        b = uniform_random(500, 4000, seed=4)
+        assert not (a.nnz == b.nnz and a.pattern_equal(b))
+
+    def test_rectangular(self):
+        g = uniform_random(m=100, nnz=500, k=30, seed=0)
+        assert g.shape == (100, 30)
+        assert g.colind.max() < 30
+
+    def test_weighted(self):
+        g = uniform_random(200, 1000, seed=0, weighted=True)
+        assert g.values.min() >= 0.5 and g.values.max() <= 1.5
+        assert np.unique(g.values).size > 10
+
+    def test_unweighted_ones(self):
+        g = uniform_random(200, 1000, seed=0)
+        assert np.all(g.values == 1.0)
+
+
+class TestPowerLaw:
+    def test_heavy_tail(self):
+        g = power_law(2000, 20_000, seed=1)
+        lengths = np.sort(g.row_lengths())[::-1]
+        # A heavy-tailed distribution concentrates edges in hub rows.
+        top_share = lengths[:20].sum() / g.nnz
+        assert top_share > 0.15
+        # ...much more so than a uniform graph.
+        u = uniform_random(2000, 20_000, seed=1)
+        u_top = np.sort(u.row_lengths())[::-1][:20].sum() / u.nnz
+        assert top_share > 2 * u_top
+
+    def test_column_indices_in_range(self):
+        g = power_law(500, 5000, seed=2)
+        assert g.colind.min() >= 0 and g.colind.max() < 500
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat(scale=10, edge_factor=8, seed=0)
+        assert g.nrows == 1024
+        assert g.nnz <= 8 * 1024
+
+    def test_clustering_vs_uniform(self):
+        # RMAT's self-similar structure concentrates nonzeros in the
+        # low-index quadrant given a > b,c,d.
+        g = rmat(scale=10, edge_factor=8, seed=0)
+        low = (g.colind < 256).sum() / g.nnz
+        assert low > 0.3  # uniform would give 0.25
+
+    def test_deterministic(self):
+        assert rmat(8, 4, seed=5).allclose(rmat(8, 4, seed=5))
+
+
+class TestBanded:
+    def test_band_respected(self):
+        g = banded_random(1000, 8000, bandwidth=5, seed=0)
+        rows = np.repeat(np.arange(g.nrows), g.row_lengths())
+        assert np.all(np.abs(rows - g.colind) <= 5)
+
+    def test_square(self):
+        g = banded_random(100, 300, bandwidth=2, seed=0)
+        assert g.shape == (100, 100)
+
+
+class TestErdosRenyi:
+    def test_exact_nnz(self):
+        g = erdos_renyi_nnz(40, 50, 123, seed=0)
+        assert g.nnz == 123
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_nnz(3, 3, 10, seed=0)

@@ -1,0 +1,138 @@
+"""Tests for MatrixMarket / SNAP edge-list / npz I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    csr_from_coo,
+    load_npz,
+    read_matrix_market,
+    read_snap_edgelist,
+    save_npz,
+    uniform_random,
+    write_matrix_market,
+    write_snap_edgelist,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, medium_csr):
+        p = tmp_path / "m.mtx"
+        write_matrix_market(medium_csr, p, comment="test matrix")
+        back = read_matrix_market(p)
+        assert back.allclose(medium_csr, rtol=1e-4)
+
+    def test_gzip_roundtrip(self, tmp_path, small_csr):
+        p = tmp_path / "m.mtx.gz"
+        write_matrix_market(small_csr, p)
+        assert read_matrix_market(p).allclose(small_csr)
+
+    def test_pattern_matrix(self, tmp_path):
+        p = tmp_path / "p.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% comment\n"
+            "3 3 2\n"
+            "1 2\n"
+            "3 1\n"
+        )
+        m = read_matrix_market(p)
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 1.0 and m.to_dense()[2, 0] == 1.0
+
+    def test_symmetric_mirrored(self, tmp_path):
+        p = tmp_path / "s.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 5.0\n"
+            "2 1 2.0\n"
+            "3 2 4.0\n"
+        )
+        d = read_matrix_market(p).to_dense()
+        assert d[0, 1] == d[1, 0] == 2.0
+        assert d[1, 2] == d[2, 1] == 4.0
+        assert d[0, 0] == 5.0  # diagonal not doubled
+
+    def test_skew_symmetric(self, tmp_path):
+        p = tmp_path / "k.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        d = read_matrix_market(p).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = tmp_path / "x.mtx"
+        p.write_text("garbage\n1 1 1\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(p)
+
+    def test_rejects_dense_format(self, tmp_path):
+        p = tmp_path / "x.mtx"
+        p.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(p)
+
+    def test_rejects_truncated(self, tmp_path):
+        p = tmp_path / "x.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_matrix_market(p)
+
+
+class TestSnapEdgeList:
+    def test_roundtrip(self, tmp_path, medium_csr):
+        pattern = medium_csr.with_values(np.ones(medium_csr.nnz, dtype=np.float32))
+        p = tmp_path / "g.txt"
+        write_snap_edgelist(pattern, p, comment="synthetic")
+        back = read_snap_edgelist(p, n_nodes=pattern.nrows)
+        assert back.allclose(pattern)
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# Directed graph\n# Nodes: 3 Edges: 2\n0\t1\n2\t0\n")
+        g = read_snap_edgelist(p)
+        assert g.nnz == 2 and g.nrows == 3
+
+    def test_undirected_mirrors(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        g = read_snap_edgelist(p, undirected=True)
+        assert g.to_dense()[0, 1] == 1.0 and g.to_dense()[1, 0] == 1.0
+
+    def test_negative_id_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("-1 2\n")
+        with pytest.raises(ValueError):
+            read_snap_edgelist(p)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("42\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_snap_edgelist(p)
+
+    def test_gzip(self, tmp_path):
+        p = tmp_path / "g.txt.gz"
+        with gzip.open(p, "wt") as f:
+            f.write("0 1\n1 2\n")
+        assert read_snap_edgelist(p).nnz == 2
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        a = uniform_random(500, 4000, seed=3, weighted=True)
+        p = tmp_path / "a.npz"
+        save_npz(a, p)
+        assert load_npz(p).allclose(a)
+
+    def test_preserves_rectangular_shape(self, tmp_path):
+        a = csr_from_coo([0], [7], [2.5], shape=(2, 9))
+        p = tmp_path / "a.npz"
+        save_npz(a, p)
+        assert load_npz(p).shape == (2, 9)

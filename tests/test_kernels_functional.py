@@ -1,0 +1,142 @@
+"""Functional correctness of every simulated kernel against the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ASpTSpMM,
+    CusparseCsrmm2,
+    DGLFallbackSpMMLike,
+    GraphBlastRowSplit,
+    GunrockAdvanceSpMM,
+    SpMVLoopSpMM,
+)
+from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI, RTX_2080
+from repro.semiring import MAX_TIMES, MEAN_TIMES, PLUS_TIMES
+from repro.sparse import csr_from_coo, reference_spmm_like, uniform_random
+
+ALL_KERNELS = [
+    SimpleSpMM(),
+    CRCSpMM(),
+    CWMSpMM(2),
+    CWMSpMM(4),
+    GESpMM(),
+    CusparseCsrmm2(),
+    GraphBlastRowSplit(),
+    GunrockAdvanceSpMM(),
+    ASpTSpMM(),
+    SpMVLoopSpMM(),
+    DGLFallbackSpMMLike(),
+]
+GENERAL_KERNELS = [k for k in ALL_KERNELS if k.supports_general_semiring]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = uniform_random(m=257, nnz=2100, k=181, seed=9)  # non-square, odd sizes
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((181, 70)).astype(np.float32)  # N not multiple of 32
+    return a, b
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+def test_standard_spmm_matches_oracle(kernel, problem):
+    a, b = problem
+    c = kernel.run(a, b)
+    np.testing.assert_allclose(c, reference_spmm_like(a, b, PLUS_TIMES), rtol=1e-4, atol=1e-4)
+
+
+@pytest.mark.parametrize("kernel", GENERAL_KERNELS, ids=lambda k: k.name)
+@pytest.mark.parametrize("semiring", [MAX_TIMES, MEAN_TIMES], ids=lambda s: s.name)
+def test_spmm_like_matches_oracle(kernel, semiring, problem):
+    a, b = problem
+    c = kernel.run(a, b, semiring)
+    np.testing.assert_allclose(c, reference_spmm_like(a, b, semiring), rtol=1e-4, atol=1e-4)
+
+
+@pytest.mark.parametrize(
+    "kernel", [k for k in ALL_KERNELS if not k.supports_general_semiring], ids=lambda k: k.name
+)
+def test_vendor_kernels_refuse_semirings(kernel, problem):
+    a, b = problem
+    with pytest.raises(NotImplementedError):
+        kernel.run(a, b, MAX_TIMES)
+    with pytest.raises(NotImplementedError):
+        kernel.estimate(a, 32, GTX_1080TI, MAX_TIMES)
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+def test_estimate_is_positive_and_finite(kernel, problem):
+    a, _ = problem
+    for gpu in (GTX_1080TI, RTX_2080):
+        t = kernel.estimate(a, 64, gpu)
+        assert np.isfinite(t.time_s) and t.time_s > 0
+        assert t.gpu_name == gpu.name
+
+
+@pytest.mark.parametrize("kernel", [SimpleSpMM(), CRCSpMM(), CWMSpMM(2), GESpMM()],
+                         ids=lambda k: k.name)
+def test_empty_matrix(kernel):
+    a = csr_from_coo([], [], [], shape=(5, 5))
+    b = np.ones((5, 8), dtype=np.float32)
+    c = kernel.run(a, b)
+    assert c.shape == (5, 8) and not c.any()
+    t = kernel.estimate(a, 8, GTX_1080TI)
+    assert t.time_s > 0  # at least the launch overhead
+
+
+@pytest.mark.parametrize("kernel", [SimpleSpMM(), CRCSpMM(), CWMSpMM(3)], ids=lambda k: k.name)
+def test_single_dense_row(kernel, rng):
+    # One long row exercises multi-tile paths.
+    cols = np.arange(100)
+    a = csr_from_coo(np.zeros(100, dtype=int), cols, rng.random(100), shape=(1, 100))
+    b = rng.random((100, 33), dtype=np.float32)
+    np.testing.assert_allclose(kernel.run(a, b), reference_spmm_like(a, b), rtol=1e-4)
+
+
+@pytest.mark.parametrize("n", [1, 31, 32, 33, 64, 65])
+def test_gespmm_arbitrary_widths(n, rng):
+    a = uniform_random(m=64, nnz=512, seed=4)
+    b = rng.random((64, n), dtype=np.float32)
+    kernel = GESpMM()
+    np.testing.assert_allclose(kernel.run(a, b), reference_spmm_like(a, b), rtol=1e-4, atol=1e-4)
+    assert kernel.estimate(a, n, GTX_1080TI).time_s > 0
+
+
+def test_adaptive_dispatch_threshold():
+    ge = GESpMM()
+    for n in (1, 16, 32):
+        assert ge.select(n).name == "crc"
+    for n in (33, 64, 512):
+        assert "cwm" in ge.select(n).name
+
+
+def test_cwm_rejects_bad_cf():
+    with pytest.raises(ValueError):
+        CWMSpMM(0)
+
+
+def test_crc_rejects_bad_tile():
+    with pytest.raises(ValueError):
+        CRCSpMM(tile=48)
+
+
+def test_estimate_caching(problem):
+    a, _ = problem
+    k = GESpMM()
+    t1 = k.estimate(a, 64, GTX_1080TI)
+    t2 = k.estimate(a, 64, GTX_1080TI)
+    assert t1 is t2  # memoized
+    t3 = k.estimate(a, 128, GTX_1080TI)
+    assert t3 is not t1
+
+
+def test_convenience_wrappers(problem):
+    from repro import gespmm, gespmm_like
+
+    a, b = problem
+    np.testing.assert_allclose(gespmm(a, b), reference_spmm_like(a, b), rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(
+        gespmm_like(a, b, MAX_TIMES), reference_spmm_like(a, b, MAX_TIMES), rtol=1e-4, atol=1e-4
+    )

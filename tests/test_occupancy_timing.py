@@ -1,0 +1,160 @@
+"""Tests for the occupancy calculator and timing model."""
+
+import pytest
+
+from repro.gpusim import (
+    ExecHints,
+    GTX_1080TI,
+    KernelStats,
+    LaunchConfig,
+    RTX_2080,
+    TimingParams,
+    compute_occupancy,
+    estimate_time,
+)
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        cfg = LaunchConfig(blocks=10_000, threads_per_block=128, regs_per_thread=32)
+        occ = compute_occupancy(cfg, GTX_1080TI)
+        assert occ.achieved == pytest.approx(1.0)
+        assert occ.blocks_per_sm == 16  # 64 warps / 4 warps per block
+
+    def test_register_limited(self):
+        cfg = LaunchConfig(blocks=10_000, threads_per_block=128, regs_per_thread=128)
+        occ = compute_occupancy(cfg, GTX_1080TI)
+        assert occ.limiter == "registers"
+        assert occ.achieved < 1.0
+
+    def test_shared_memory_limited(self):
+        cfg = LaunchConfig(blocks=10_000, threads_per_block=64,
+                           regs_per_thread=16, shared_mem_per_block=48 * 1024)
+        occ = compute_occupancy(cfg, GTX_1080TI)
+        assert occ.limiter == "shared_memory"
+        assert occ.blocks_per_sm == 2  # 96 KB / 48 KB
+
+    def test_block_cap(self):
+        cfg = LaunchConfig(blocks=10_000, threads_per_block=32, regs_per_thread=16)
+        occ = compute_occupancy(cfg, GTX_1080TI)
+        # 32-thread blocks: the 32-blocks/SM cap binds before warp slots.
+        assert occ.blocks_per_sm == 32
+        assert occ.achieved == pytest.approx(0.5)
+
+    def test_grid_limited(self):
+        cfg = LaunchConfig(blocks=14, threads_per_block=128, regs_per_thread=32)
+        occ = compute_occupancy(cfg, GTX_1080TI)  # fewer blocks than SMs
+        assert occ.achieved < 0.05
+        assert occ.is_latency_starved
+
+    def test_waves(self):
+        cfg = LaunchConfig(blocks=28 * 16 * 2, threads_per_block=128, regs_per_thread=32)
+        occ = compute_occupancy(cfg, GTX_1080TI)
+        assert occ.waves == pytest.approx(2.0)
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(LaunchConfig(1, 2048), GTX_1080TI)
+
+    def test_oversized_shared_rejected(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(
+                LaunchConfig(1, 128, shared_mem_per_block=1024 * 1024), GTX_1080TI
+            )
+
+    def test_invalid_launch_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(blocks=-1, threads_per_block=128)
+        with pytest.raises(ValueError):
+            LaunchConfig(blocks=1, threads_per_block=0)
+
+    def test_turing_warp_budget(self):
+        cfg = LaunchConfig(blocks=10_000, threads_per_block=128, regs_per_thread=32)
+        occ = compute_occupancy(cfg, RTX_2080)
+        assert occ.blocks_per_sm == 8  # 32 warps / 4 per block
+
+
+def _stats(load_insts=1000, load_sectors=4000, store_sectors=500, flops=10_000):
+    s = KernelStats()
+    s.global_load.instructions = load_insts
+    s.global_load.transactions = load_sectors
+    s.global_load.requested_bytes = load_sectors * 32
+    s.global_load.l1_filtered_transactions = load_sectors
+    s.global_store.instructions = store_sectors // 4
+    s.global_store.transactions = store_sectors
+    s.flops = flops
+    tb = s.traffic("B")
+    tb.sectors = load_sectors
+    tb.unique_bytes = load_sectors * 32
+    tb.reuse_is_local = False
+    return s
+
+
+LAUNCH = LaunchConfig(blocks=5000, threads_per_block=128, regs_per_thread=32)
+
+
+class TestTimingModel:
+    def test_components_present(self):
+        t = estimate_time(_stats(), LAUNCH, GTX_1080TI)
+        for key in ("dram", "l2_link", "issue", "compute", "launch", "sync"):
+            assert key in t.breakdown
+        assert t.time_s > 0
+        assert t.bound_by in t.breakdown
+
+    def test_empty_kernel_costs_launch_overhead(self):
+        t = estimate_time(KernelStats(), LaunchConfig(1, 32), GTX_1080TI)
+        assert t.time_s == pytest.approx(GTX_1080TI.launch_overhead_s, rel=0.2)
+
+    def test_more_traffic_more_time(self):
+        t1 = estimate_time(_stats(load_sectors=4000), LAUNCH, GTX_1080TI)
+        t2 = estimate_time(_stats(load_sectors=400_000, load_insts=100_000), LAUNCH, GTX_1080TI)
+        assert t2.time_s > t1.time_s
+
+    def test_higher_mlp_never_slower(self):
+        s = _stats(load_sectors=400_000, load_insts=100_000)
+        lo = estimate_time(s, LAUNCH, GTX_1080TI, ExecHints(mlp=1.0))
+        hi = estimate_time(s, LAUNCH, GTX_1080TI, ExecHints(mlp=3.0))
+        assert hi.time_s <= lo.time_s
+
+    def test_efficiency_derating(self):
+        s = _stats(load_sectors=400_000, load_insts=100_000)
+        s.traffic("B").reuse_is_local = True  # keep DRAM off the critical path
+        full = estimate_time(s, LAUNCH, GTX_1080TI, ExecHints(efficiency=1.0))
+        quarter = estimate_time(s, LAUNCH, GTX_1080TI, ExecHints(efficiency=0.25))
+        assert quarter.time_s > full.time_s
+
+    def test_tiny_grid_is_slower_per_byte(self):
+        s = _stats(load_sectors=100_000, load_insts=25_000)
+        big = estimate_time(s, LaunchConfig(5000, 128), GTX_1080TI)
+        tiny = estimate_time(s, LaunchConfig(4, 128), GTX_1080TI)
+        assert tiny.time_s > big.time_s
+
+    def test_l1_filtering_reduces_link_time(self):
+        s = _stats(load_sectors=400_000, load_insts=100_000)
+        s.global_load.l1_filtered_transactions = 100_000
+        pascal = estimate_time(s, LAUNCH, GTX_1080TI)
+        turing_like = estimate_time(s, LAUNCH, GTX_1080TI.scaled(l1_caches_global=True))
+        assert turing_like.breakdown["l2_link"] < pascal.breakdown["l2_link"]
+
+    def test_atomics_charged(self):
+        s = _stats()
+        s.atomic_ops = 10_000_000
+        t = estimate_time(s, LAUNCH, GTX_1080TI)
+        assert t.bound_by == "atomics"
+
+    def test_block_sync_charged(self):
+        s = _stats()
+        base = estimate_time(s, LAUNCH, GTX_1080TI).time_s
+        s2 = _stats()
+        s2.block_syncs = 5_000_000
+        assert estimate_time(s2, LAUNCH, GTX_1080TI).time_s > base
+
+    def test_gld_throughput_positive(self):
+        t = estimate_time(_stats(), LAUNCH, GTX_1080TI)
+        assert t.gld_throughput > 0
+        assert t.gflops(1_000_000) == pytest.approx(1e6 / t.time_s / 1e9)
+
+    def test_params_immutable_defaults(self):
+        p = TimingParams()
+        with pytest.raises(Exception):
+            p.width_exp = 0.1  # frozen dataclass

@@ -1,0 +1,133 @@
+"""Tests for reference SpMM/SpMM-like oracles and semiring definitions."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import MAX_TIMES, MEAN_TIMES, MIN_TIMES, PLUS_TIMES, builtin_semirings
+from repro.sparse import (
+    csr_from_coo,
+    flops_of_spmm,
+    reference_spmm,
+    reference_spmm_like,
+    reference_spmv,
+    uniform_random,
+)
+
+
+def brute_force_spmm_like(a, b, semiring):
+    """Dead-simple per-element oracle for the oracle."""
+    m, n = a.nrows, b.shape[1]
+    out = np.full((m, n), semiring.init, dtype=np.float64)
+    for i in range(m):
+        cols, vals = a.row_slice(i)
+        for k, v in zip(cols, vals):
+            out[i] = semiring.reduce_pair(out[i], v * b[k].astype(np.float64))
+    if semiring.mean:
+        lengths = a.row_lengths()
+        nz = lengths > 0
+        out[nz] /= lengths[nz, None]
+    return out.astype(np.float32)
+
+
+class TestReferenceSpMM:
+    def test_matches_scipy(self, medium_csr, dense_b):
+        c = reference_spmm(medium_csr, dense_b)
+        np.testing.assert_allclose(c, medium_csr.to_scipy() @ dense_b, rtol=1e-5)
+
+    def test_matches_dense(self, small_csr, rng):
+        b = rng.random((4, 3), dtype=np.float32)
+        np.testing.assert_allclose(
+            reference_spmm(small_csr, b), small_csr.to_dense() @ b, rtol=1e-5
+        )
+
+    def test_shape_check(self, small_csr):
+        with pytest.raises(ValueError):
+            reference_spmm(small_csr, np.zeros((5, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            reference_spmm(small_csr, np.zeros(4, dtype=np.float32))
+
+    def test_spmv(self, medium_csr, rng):
+        x = rng.random(medium_csr.ncols, dtype=np.float32)
+        np.testing.assert_allclose(
+            reference_spmv(medium_csr, x), medium_csr.to_scipy() @ x, rtol=1e-5
+        )
+        with pytest.raises(ValueError):
+            reference_spmv(medium_csr, x[:-1])
+
+    def test_flops(self, medium_csr):
+        assert flops_of_spmm(medium_csr, 128) == 2 * medium_csr.nnz * 128
+
+
+class TestReferenceSpMMLike:
+    @pytest.mark.parametrize("semiring", [PLUS_TIMES, MAX_TIMES, MIN_TIMES, MEAN_TIMES],
+                             ids=lambda s: s.name)
+    def test_against_brute_force(self, medium_csr, dense_b, semiring):
+        got = reference_spmm_like(medium_csr, dense_b, semiring)
+        want = brute_force_spmm_like(medium_csr, dense_b, semiring)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_plus_equals_spmm(self, medium_csr, dense_b):
+        np.testing.assert_allclose(
+            reference_spmm_like(medium_csr, dense_b, PLUS_TIMES),
+            reference_spmm(medium_csr, dense_b),
+            rtol=1e-4,
+        )
+
+    def test_empty_rows_get_identity(self, rng):
+        a = csr_from_coo([0], [1], [2.0], shape=(3, 2))
+        b = rng.random((2, 4), dtype=np.float32)
+        out = reference_spmm_like(a, b, MAX_TIMES)
+        assert np.all(out[1] == np.float32(-np.inf))
+        out_sum = reference_spmm_like(a, b, PLUS_TIMES)
+        assert np.all(out_sum[1] == 0)
+
+    def test_empty_matrix(self):
+        a = csr_from_coo([], [], [], shape=(3, 3))
+        out = reference_spmm_like(a, np.ones((3, 2), dtype=np.float32), PLUS_TIMES)
+        assert out.shape == (3, 2) and not out.any()
+
+    def test_mean_is_row_average(self):
+        a = csr_from_coo([0, 0], [0, 1], [1.0, 1.0], shape=(1, 2))
+        b = np.array([[2.0], [4.0]], dtype=np.float32)
+        out = reference_spmm_like(a, b, MEAN_TIMES)
+        assert out[0, 0] == pytest.approx(3.0)
+
+    def test_negative_values_max(self, rng):
+        # max-times with negative products must still pick the maximum.
+        a = csr_from_coo([0, 0], [0, 1], [-1.0, 1.0], shape=(1, 2))
+        b = np.array([[5.0], [-2.0]], dtype=np.float32)
+        out = reference_spmm_like(a, b, MAX_TIMES)
+        assert out[0, 0] == pytest.approx(-2.0)
+
+
+class TestSemiring:
+    def test_builtins_registry(self):
+        reg = builtin_semirings()
+        assert set(reg) == {"plus_times", "max_times", "min_times", "mean_times"}
+
+    def test_is_standard(self):
+        assert PLUS_TIMES.is_standard
+        assert not MAX_TIMES.is_standard
+        assert not MEAN_TIMES.is_standard
+
+    def test_identities(self):
+        assert PLUS_TIMES.init == 0.0
+        assert MAX_TIMES.init == -np.inf
+        assert MIN_TIMES.init == np.inf
+
+    def test_reduce_pair_consistency(self, rng):
+        x = rng.standard_normal(10)
+        y = rng.standard_normal(10)
+        for s in builtin_semirings().values():
+            stacked = np.stack([x, y])
+            np.testing.assert_allclose(s.reduce(stacked, axis=0), s.reduce_pair(x, y))
+
+    def test_finalize_mean(self):
+        acc = np.array([[6.0, 9.0], [0.0, 0.0]], dtype=np.float32)
+        out = MEAN_TIMES.finalize(acc, np.array([3, 0]))
+        np.testing.assert_allclose(out[0], [2.0, 3.0])
+        np.testing.assert_allclose(out[1], [0.0, 0.0])  # empty row guarded
+
+    def test_finalize_noop_for_sum(self):
+        acc = np.ones((2, 2), dtype=np.float32)
+        assert PLUS_TIMES.finalize(acc, np.array([1, 1])) is acc

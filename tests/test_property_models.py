@@ -1,0 +1,130 @@
+"""Hypothesis property tests on the kernel and timing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
+from repro.core.sddmm import edge_softmax
+from repro.gpusim import GTX_1080TI, RTX_2080, spmm_footprint
+from repro.sparse import neighbor_sample, uniform_random
+
+GPUS = [GTX_1080TI, RTX_2080]
+
+
+@st.composite
+def graph_and_n(draw):
+    m = draw(st.integers(50, 2000))
+    density = draw(st.integers(1, 16))
+    n = draw(st.sampled_from([8, 32, 33, 64, 128, 200]))
+    seed = draw(st.integers(0, 2**16))
+    return uniform_random(m=m, nnz=m * density, seed=seed), n
+
+
+@given(st.integers(4000, 20_000), st.integers(4, 16),
+       st.sampled_from([32, 64, 128]), st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_time_monotone_in_width(m, density, n, seed):
+    """Once the launch fills the device, wider outputs can never be
+    faster for a fixed kernel.  (Grid-starved launches legitimately break
+    this: more columns buy more parallelism — the Fig. 3 ramp.)"""
+    a = uniform_random(m=m, nnz=m * density, seed=seed)
+    crc = CRCSpMM()
+    assert crc.estimate(a, 4 * n, GTX_1080TI).time_s >= crc.estimate(a, n, GTX_1080TI).time_s
+    ge = GESpMM()
+    assert ge.estimate(a, 4 * n, GTX_1080TI).time_s >= 0.93 * ge.estimate(a, n, GTX_1080TI).time_s
+
+
+@given(graph_and_n())
+@settings(max_examples=15, deadline=None)
+def test_transactions_monotone_in_width(gn):
+    a, n = gn
+    s1, _, _ = CRCSpMM().count(a, n, GTX_1080TI)
+    s2, _, _ = CRCSpMM().count(a, n + 32, GTX_1080TI)
+    assert s2.global_load.transactions >= s1.global_load.transactions
+    assert s2.global_store.transactions >= s1.global_store.transactions
+
+
+@given(graph_and_n(), st.sampled_from([2, 4, 8]))
+@settings(max_examples=15, deadline=None)
+def test_cwm_divides_sparse_traffic(gn, cf):
+    """CWM's defining property: sparse-array traffic scales with the
+    number of column-segment warps, dense traffic does not change."""
+    a, _ = gn
+    n = 32 * cf * 4  # guarantee full warps at both CFs
+    crc, _, _ = CRCSpMM().count(a, n, GTX_1080TI)
+    cwm, _, _ = CWMSpMM(cf).count(a, n, GTX_1080TI)
+    assert crc.traffic("B").sectors == cwm.traffic("B").sectors
+    ratio = crc.traffic("colind").sectors / max(cwm.traffic("colind").sectors, 1)
+    assert ratio == pytest.approx(cf, rel=0.01)
+
+
+@given(graph_and_n())
+@settings(max_examples=15, deadline=None)
+def test_crc_never_more_load_instructions(gn):
+    a, n = gn
+    s, _, _ = SimpleSpMM().count(a, n, GTX_1080TI)
+    c, _, _ = CRCSpMM().count(a, n, GTX_1080TI)
+    assert c.global_load.instructions <= s.global_load.instructions
+    assert c.global_load.transactions <= s.global_load.transactions
+
+
+@given(graph_and_n())
+@settings(max_examples=15, deadline=None)
+def test_efficiency_bounded(gn):
+    a, n = gn
+    for kernel in (SimpleSpMM(), CRCSpMM(), CWMSpMM(2)):
+        s, _, _ = kernel.count(a, n, GTX_1080TI)
+        assert 0.0 < s.global_load.efficiency <= 1.0
+        assert s.global_load.l1_filtered_transactions <= s.global_load.transactions
+
+
+@given(graph_and_n())
+@settings(max_examples=10, deadline=None)
+def test_estimates_finite_on_both_gpus(gn):
+    a, n = gn
+    for gpu in GPUS:
+        for kernel in (SimpleSpMM(), GESpMM()):
+            t = kernel.estimate(a, n, gpu)
+            assert np.isfinite(t.time_s) and t.time_s > 0
+            assert sum(t.breakdown.values()) >= t.time_s * 0.5
+
+
+@given(st.integers(10, 10_000), st.integers(1, 64), st.integers(1, 512))
+@settings(max_examples=30, deadline=None)
+def test_footprint_monotone(m, density, n):
+    a_small = type("S", (), {"nrows": m, "ncols": m, "nnz": m * density})()
+    a_big = type("S", (), {"nrows": 2 * m, "ncols": 2 * m, "nnz": 2 * m * density})()
+    assert spmm_footprint(a_big, n).total > spmm_footprint(a_small, n).total
+    assert spmm_footprint(a_small, 2 * n).total > spmm_footprint(a_small, n).total
+
+
+@given(st.integers(20, 300), st.integers(1, 10), st.integers(1, 12), st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_neighbor_sample_invariants(m, density, fanout, seed):
+    g = uniform_random(m=m, nnz=m * density, seed=seed)
+    rng = np.random.default_rng(seed)
+    seeds = rng.choice(m, size=min(16, m), replace=False)
+    batch = neighbor_sample(g, seeds, fanout, rng)
+    # Row degrees bounded by min(fanout, original degree).
+    orig = g.row_lengths()
+    for i, s in enumerate(seeds):
+        got = int(batch.block.row_lengths()[i])
+        assert got <= min(fanout, int(orig[s]))
+    # All referenced nodes are real and the mapping is injective.
+    assert np.unique(batch.nodes).size == batch.nodes.size
+    assert batch.nodes.max(initial=0) < g.ncols
+    assert batch.block.shape == (seeds.size, batch.nodes.size)
+
+
+@given(st.integers(5, 200), st.integers(1, 12), st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_edge_softmax_is_distribution(m, density, seed):
+    g = uniform_random(m=m, nnz=m * density, seed=seed, weighted=True)
+    sm = edge_softmax(g)
+    rows = np.repeat(np.arange(m), g.row_lengths())
+    sums = np.zeros(m)
+    np.add.at(sums, rows, sm.values.astype(np.float64))
+    occupied = g.row_lengths() > 0
+    np.testing.assert_allclose(sums[occupied], 1.0, rtol=1e-4)
+    assert (sm.values >= 0).all()

@@ -1,0 +1,164 @@
+"""Tests for graph sampling, structural stats, and conversion costs."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX_1080TI
+from repro.sparse import (
+    analyze,
+    neighbor_sample_layers,
+    banded_random,
+    batch_stream,
+    csr_from_coo,
+    csr_to_aspt_time,
+    csr_to_csc,
+    csr_to_csc_time,
+    csr_to_ellpack_time,
+    gini,
+    induced_subgraph,
+    neighbor_sample,
+    power_law,
+    row_length_histogram,
+    uniform_random,
+)
+
+
+@pytest.fixture
+def graph():
+    return uniform_random(m=200, nnz=2400, seed=5, weighted=True)
+
+
+class TestNeighborSample:
+    def test_fanout_respected(self, graph, rng):
+        batch = neighbor_sample(graph, np.arange(32), fanout=5, rng=rng)
+        assert batch.block.row_lengths().max() <= 5
+        assert batch.batch_size == 32
+
+    def test_seeds_lead_node_list(self, graph, rng):
+        seeds = np.array([7, 3, 11])
+        batch = neighbor_sample(graph, seeds, fanout=4, rng=rng)
+        np.testing.assert_array_equal(batch.nodes[:3], seeds)
+        assert batch.n_inputs >= 3
+
+    def test_edges_exist_in_parent(self, graph, rng):
+        seeds = np.arange(20)
+        batch = neighbor_sample(graph, seeds, fanout=3, rng=rng)
+        dense = graph.to_dense()
+        rows, cols, vals = batch.block.to_coo()
+        for r, c, v in zip(rows, cols, vals):
+            src = int(batch.seeds[r])
+            dst = int(batch.nodes[c])
+            assert dense[src, dst] != 0
+            assert v == pytest.approx(dense[src, dst], rel=1e-5)
+
+    def test_low_degree_rows_keep_all(self, rng):
+        g = csr_from_coo([0, 0, 1], [1, 2, 0], [1.0, 2.0, 3.0], shape=(3, 3))
+        batch = neighbor_sample(g, np.array([0, 1, 2]), fanout=10, rng=rng)
+        assert batch.block.nnz == 3  # nothing dropped, fanout > degree
+
+    def test_empty_seed_rejected(self, graph, rng):
+        with pytest.raises(ValueError):
+            neighbor_sample(graph, np.array([], dtype=np.int64), 2, rng)
+        with pytest.raises(ValueError):
+            neighbor_sample(graph, np.array([0]), 0, rng)
+
+    def test_batch_stream_fresh_matrices(self, graph):
+        batches = list(batch_stream(graph, batch_size=16, fanout=4, n_batches=5, seed=1))
+        assert len(batches) == 5
+        patterns = {(b.block.nnz, tuple(b.seeds[:3])) for b in batches}
+        assert len(patterns) > 1  # different subgraphs per batch
+
+
+class TestInducedSubgraph:
+    def test_edges_within_selection(self, graph):
+        nodes = np.arange(0, 60)
+        sub = induced_subgraph(graph, nodes)
+        assert sub.shape == (60, 60)
+        dense_parent = graph.to_dense()[np.ix_(nodes, nodes)]
+        np.testing.assert_allclose(sub.to_dense(), dense_parent, rtol=1e-5)
+
+    def test_duplicate_nodes_rejected(self, graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(graph, np.array([1, 1, 2]))
+
+
+class TestStats:
+    def test_gini_bounds(self):
+        assert gini(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+        skew = np.zeros(100)
+        skew[0] = 1000
+        assert gini(skew) > 0.95
+        assert gini(np.array([])) == 0.0
+
+    def test_power_law_more_imbalanced(self):
+        u = analyze(uniform_random(2000, 20_000, seed=1))
+        p = analyze(power_law(2000, 20_000, seed=1))
+        assert p.row_gini > u.row_gini
+
+    def test_banded_higher_tile_occupancy(self):
+        b = analyze(banded_random(4000, 80_000, bandwidth=8, seed=1))
+        u = analyze(uniform_random(4000, 80_000, seed=1))
+        assert b.tile_occupancy > u.tile_occupancy
+
+    def test_profile_fields(self, graph):
+        p = analyze(graph)
+        assert p.m == 200 and p.nnz == graph.nnz
+        assert 0 <= p.short_row_fraction <= 1
+        assert "nnz/row" in p.summary()
+
+    def test_histogram_partitions_rows(self, graph):
+        hist = row_length_histogram(graph)
+        assert sum(hist.values()) == graph.nrows
+
+    def test_empty_matrix_profile(self):
+        p = analyze(csr_from_coo([], [], [], shape=(4, 4)))
+        assert p.nnz == 0 and p.tile_occupancy == 0.0
+
+
+class TestConversionCosts:
+    def test_csc_is_transpose(self, graph):
+        np.testing.assert_allclose(
+            csr_to_csc(graph).to_dense(), graph.to_dense().T, rtol=1e-6
+        )
+
+    def test_costs_positive_and_scale_with_nnz(self):
+        small = uniform_random(1000, 5000, seed=0)
+        big = uniform_random(1000, 50_000, seed=0)
+        for fn in (csr_to_csc_time, csr_to_ellpack_time, csr_to_aspt_time):
+            t_small, t_big = fn(small, GTX_1080TI), fn(big, GTX_1080TI)
+            assert 0 < t_small < t_big
+
+    def test_ellpack_conversion_punished_by_skew(self):
+        balanced = banded_random(4000, 40_000, bandwidth=8, seed=2)
+        skewed = power_law(4000, 40_000, seed=2)
+        assert csr_to_ellpack_time(skewed, GTX_1080TI) > csr_to_ellpack_time(balanced, GTX_1080TI)
+
+    def test_conversion_dwarfs_spmm_on_single_use(self):
+        # The paper's point: one conversion costs a sizable fraction of
+        # (or more than) one SpMM.
+        from repro.core import GESpMM
+
+        g = uniform_random(20_000, 200_000, seed=3)
+        t_spmm = GESpMM().estimate(g, 128, GTX_1080TI).time_s
+        assert csr_to_aspt_time(g, GTX_1080TI) > 0.2 * t_spmm
+
+
+class TestMultiHopSampling:
+    def test_layer_chain_contract(self, graph, rng):
+        seeds = np.arange(24)
+        blocks = neighbor_sample_layers(graph, seeds, [6, 4], rng)
+        assert len(blocks) == 2
+        # Output block's rows are the seeds; first block's rows cover the
+        # second block's full input set.
+        np.testing.assert_array_equal(blocks[-1].seeds, seeds)
+        assert blocks[0].batch_size == blocks[-1].n_inputs
+        np.testing.assert_array_equal(blocks[0].seeds, blocks[-1].nodes)
+
+    def test_fanouts_respected_per_layer(self, graph, rng):
+        blocks = neighbor_sample_layers(graph, np.arange(10), [7, 3], rng)
+        assert blocks[-1].block.row_lengths().max() <= 3
+        assert blocks[0].block.row_lengths().max() <= 7
+
+    def test_empty_fanouts_rejected(self, graph, rng):
+        with pytest.raises(ValueError):
+            neighbor_sample_layers(graph, np.arange(4), [], rng)

@@ -1,0 +1,117 @@
+"""Tests for the SDDMM kernel model and edge softmax."""
+
+import numpy as np
+import pytest
+
+from repro.core.sddmm import GESDDMM, edge_softmax, reference_sddmm
+from repro.gpusim import GTX_1080TI, RTX_2080
+from repro.sparse import csr_from_coo, uniform_random
+
+
+@pytest.fixture
+def mask():
+    return uniform_random(m=120, nnz=900, k=90, seed=3)
+
+
+@pytest.fixture
+def xy(mask, rng):
+    x = rng.standard_normal((mask.nrows, 16)).astype(np.float32)
+    y = rng.standard_normal((mask.ncols, 16)).astype(np.float32)
+    return x, y
+
+
+class TestReferenceSDDMM:
+    def test_matches_dense(self, mask, xy):
+        x, y = xy
+        out = reference_sddmm(mask, x, y)
+        dense = (x @ y.T) * (mask.to_dense() != 0) * mask.to_dense()
+        np.testing.assert_allclose(out.to_dense(), dense, rtol=1e-3, atol=1e-4)
+
+    def test_pattern_preserved(self, mask, xy):
+        out = reference_sddmm(mask, *xy)
+        assert out.pattern_equal(mask)
+
+    def test_mask_values_scale(self, mask, xy):
+        x, y = xy
+        doubled = mask.with_values(mask.values * 2)
+        np.testing.assert_allclose(
+            reference_sddmm(doubled, x, y).values,
+            2 * reference_sddmm(mask, x, y).values,
+            rtol=1e-5,
+        )
+
+    def test_shape_checks(self, mask, xy):
+        x, y = xy
+        with pytest.raises(ValueError):
+            reference_sddmm(mask, x[:-1], y)
+        with pytest.raises(ValueError):
+            reference_sddmm(mask, x, y[:, :-1])
+
+    def test_empty_mask(self, xy):
+        x, y = xy
+        empty = csr_from_coo([], [], [], shape=(120, 90))
+        assert reference_sddmm(empty, x, y).nnz == 0
+
+
+class TestEdgeSoftmax:
+    def test_rows_sum_to_one(self, mask):
+        sm = edge_softmax(mask)
+        sums = np.zeros(mask.nrows)
+        rows = np.repeat(np.arange(mask.nrows), mask.row_lengths())
+        np.add.at(sums, rows, sm.values.astype(np.float64))
+        occupied = mask.row_lengths() > 0
+        np.testing.assert_allclose(sums[occupied], 1.0, rtol=1e-5)
+
+    def test_values_positive(self, mask):
+        assert (edge_softmax(mask).values > 0).all()
+
+    def test_shift_invariance(self, mask):
+        shifted = mask.with_values(mask.values + 100.0)
+        np.testing.assert_allclose(
+            edge_softmax(shifted).values, edge_softmax(mask).values, rtol=1e-4
+        )
+
+    def test_numerically_stable_large_logits(self):
+        m = csr_from_coo([0, 0], [0, 1], [1000.0, 999.0], shape=(1, 2))
+        sm = edge_softmax(m)
+        assert np.isfinite(sm.values).all()
+        assert sm.values.sum() == pytest.approx(1.0, rel=1e-5)
+
+
+class TestSDDMMKernelModel:
+    def test_run_xy(self, mask, xy):
+        k = GESDDMM()
+        out = k.run_xy(mask, *xy)
+        np.testing.assert_allclose(out.values, reference_sddmm(mask, *xy).values, rtol=1e-5)
+
+    def test_run_without_x_raises(self, mask, rng):
+        with pytest.raises(NotImplementedError):
+            GESDDMM().run(mask, rng.random((90, 8), dtype=np.float32))
+
+    def test_estimate_positive(self, mask):
+        for gpu in (GTX_1080TI, RTX_2080):
+            t = GESDDMM().estimate(mask, 64, gpu)
+            assert t.time_s > 0 and np.isfinite(t.time_s)
+
+    def test_traffic_scales_with_width(self):
+        big = uniform_random(20_000, 200_000, seed=1)
+        k = GESDDMM()
+        s32, _, _ = k.count(big, 32, GTX_1080TI)
+        s256, _, _ = k.count(big, 256, GTX_1080TI)
+        assert s256.global_load.transactions > 5 * s32.global_load.transactions
+
+    def test_y_stream_dominates(self):
+        # Per nonzero Y row vs per occupied X row: Y traffic dominates.
+        big = uniform_random(20_000, 200_000, seed=1)
+        s, _, _ = GESDDMM().count(big, 128, GTX_1080TI)
+        assert s.traffic("Y").sectors > 3 * s.traffic("X").sectors
+
+    def test_comparable_cost_to_spmm(self):
+        # SDDMM moves the same dense volume as SpMM's B stream: the two
+        # should land within a small factor of each other.
+        from repro.core import GESpMM
+
+        big = uniform_random(20_000, 200_000, seed=1)
+        t_sddmm = GESDDMM().estimate(big, 128, GTX_1080TI).time_s
+        t_spmm = GESpMM().estimate(big, 128, GTX_1080TI).time_s
+        assert 0.3 < t_sddmm / t_spmm < 3.0

@@ -1,0 +1,50 @@
+"""Tests for TimingParams overrides and the estimate plumbing around them."""
+
+import pytest
+
+from repro.core import GESpMM
+from repro.gpusim import GTX_1080TI, TimingParams
+from repro.sparse import uniform_random
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random(20_000, 200_000, seed=6)
+
+
+class TestParamOverrides:
+    def test_custom_params_change_result(self, graph):
+        k = GESpMM()
+        default = k.estimate(graph, 256, GTX_1080TI).time_s
+        slow_issue = k.estimate(
+            graph, 256, GTX_1080TI, params=TimingParams(ldst_issue_cycles=64.0)
+        ).time_s
+        assert slow_issue > default
+
+    def test_param_cache_keyed_by_params(self, graph):
+        k = GESpMM()
+        p = TimingParams(ldst_issue_cycles=64.0)
+        t_default = k.estimate(graph, 256, GTX_1080TI)
+        t_custom = k.estimate(graph, 256, GTX_1080TI, params=p)
+        assert t_custom is not t_default
+        assert k.estimate(graph, 256, GTX_1080TI, params=p) is t_custom
+
+    def test_stronger_ilp_saturation_slows_cwm(self, graph):
+        from repro.core import CWMSpMM
+
+        k1, k2 = CWMSpMM(2), CWMSpMM(2)
+        default = k1.estimate(graph, 512, GTX_1080TI).time_s
+        capped = k2.estimate(
+            graph, 512, GTX_1080TI, params=TimingParams(mlp_sat=1.0)
+        ).time_s
+        assert capped > default  # ILP benefit removed
+
+    def test_local_hit_rate_bounds_dram(self, graph):
+        k1, k2 = GESpMM(), GESpMM()
+        hot = k1.estimate(graph, 512, GTX_1080TI, params=TimingParams(l2_local_hit=1.0))
+        cold = k2.estimate(graph, 512, GTX_1080TI, params=TimingParams(l2_local_hit=0.0))
+        assert cold.breakdown["dram"] > hot.breakdown["dram"]
+
+    def test_default_params_are_shared_constants(self):
+        # Two fresh instances must agree: constants are not per-kernel.
+        assert TimingParams() == TimingParams()
