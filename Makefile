@@ -1,6 +1,6 @@
 # Convenience targets for the GE-SpMM reproduction.
 
-.PHONY: install test bench examples artifacts clean
+.PHONY: install test bench examples artifacts telemetry clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,11 @@ bench:
 
 examples:
 	@for s in examples/*.py; do echo "== $$s"; python $$s || exit 1; done
+
+# Regenerate the machine-readable perf trajectory (see docs/OBSERVABILITY.md).
+# Deterministic: rerunning on an unchanged tree reproduces the file exactly.
+telemetry:
+	PYTHONPATH=src python -m repro.cli sweep --graphs 6 --n 128 512 --bench-json BENCH_spmm.json
 
 # The two artifact files DESIGN/EXPERIMENTS reference.
 artifacts:

@@ -8,6 +8,12 @@ from repro.bench.regression import (
     save_baseline,
 )
 from repro.bench.report import PaperClaim, comparison, render_claims
+from repro.bench.telemetry import (
+    SCHEMA_ID,
+    bench_document,
+    validate_bench_document,
+    write_bench_json,
+)
 from repro.bench.runner import (
     KernelResult,
     bar_chart,
@@ -34,4 +40,8 @@ __all__ = [
     "PaperClaim",
     "comparison",
     "render_claims",
+    "SCHEMA_ID",
+    "bench_document",
+    "validate_bench_document",
+    "write_bench_json",
 ]

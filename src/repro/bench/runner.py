@@ -9,9 +9,11 @@ prints rows directly comparable to the paper's artifact.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.gpusim.config import GPUSpec
 from repro.gpusim.kernel import SpMMKernel
 from repro.sparse.csr import CSRMatrix
@@ -54,26 +56,53 @@ def run_sweep(
     widths: Sequence[int],
     gpus: Sequence[GPUSpec],
     progress: Optional[Callable[[str], None]] = None,
+    quiet: bool = True,
 ) -> List[KernelResult]:
-    """Estimate every kernel on every (graph, N, GPU) combination."""
+    """Estimate every kernel on every (graph, N, GPU) combination.
+
+    Every cell runs inside a ``sweep.cell`` span and lands in the metrics
+    registry as a series keyed by ``(kernel, graph, n, gpu)``, so a sweep
+    is fully reconstructable from ``--trace-out`` / ``--metrics-out``
+    dumps.  Progress reporting goes through the span layer (an event per
+    finished graph) and additionally through the legacy ``progress``
+    callback when one is given; pass ``quiet=False`` to also narrate
+    per-graph progress on stderr.  The default is silent, keeping
+    benchmark scripts' stdout byte-identical.
+    """
+    registry = obs.get_registry()
     out: List[KernelResult] = []
     for gpu in gpus:
         for gname, graph in graphs.items():
-            for n in widths:
-                for kernel in kernels:
-                    t = kernel.estimate(graph, n, gpu)
-                    out.append(
-                        KernelResult(
-                            kernel=kernel.name,
-                            graph=gname,
-                            n=n,
-                            gpu=gpu.name,
-                            time_s=t.time_s,
-                            gflops=t.gflops(flops_of_spmm(graph, n)),
+            with obs.span("sweep.graph", graph=gname, gpu=gpu.name):
+                for n in widths:
+                    for kernel in kernels:
+                        with obs.span("sweep.cell", kernel=kernel.name, graph=gname,
+                                      n=int(n), gpu=gpu.name) as cell:
+                            t = kernel.estimate(graph, n, gpu)
+                            gflops = t.gflops(flops_of_spmm(graph, n))
+                            obs.add_sim_time(t.time_s)
+                            if cell is not None:
+                                cell.attrs["time_ms"] = t.time_s * 1e3
+                                cell.attrs["gflops"] = gflops
+                        labels = dict(kernel=kernel.name, graph=gname, n=int(n),
+                                      gpu=gpu.name)
+                        registry.gauge("sweep.cell.time_ms", **labels).set(t.time_s * 1e3)
+                        registry.gauge("sweep.cell.gflops", **labels).set(gflops)
+                        out.append(
+                            KernelResult(
+                                kernel=kernel.name,
+                                graph=gname,
+                                n=n,
+                                gpu=gpu.name,
+                                time_s=t.time_s,
+                                gflops=gflops,
+                            )
                         )
-                    )
+            obs.event("sweep.graph.done", graph=gname, gpu=gpu.name)
             if progress:
                 progress(gname)
+            if not quiet:
+                print(f"[sweep] {gname} done on {gpu.name}", file=sys.stderr)
     return out
 
 
@@ -114,7 +143,8 @@ def format_series(name: str, series: Dict[str, float], fmt: str = "{:.3f}") -> s
     return "\n".join(lines)
 
 
-def bar_chart(series: Dict[str, float], width: int = 40, unit: float = None, label: str = "") -> str:
+def bar_chart(series: Dict[str, float], width: int = 40, unit: Optional[float] = None,
+              label: str = "") -> str:
     """ASCII bar chart — the textual rendering of the paper's figures."""
     if not series:
         return "(no data)"

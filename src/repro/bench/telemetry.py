@@ -1,0 +1,192 @@
+"""Machine-readable benchmark telemetry: the ``BENCH_spmm.json`` artifact.
+
+The text tables under ``benchmarks/results/`` are for human eyes; this
+module serializes the same sweep into one schema-versioned JSON document
+so the performance trajectory of the repo becomes *diffable across
+commits*: run metadata, one cell per ``(kernel, graph, n, gpu)`` point,
+and the geomean speedups the paper headlines.
+
+The document is fully deterministic — simulated times are deterministic
+and no wall-clock timestamp is embedded — so regenerating it on an
+unchanged tree produces an identical file, and any diff is a real model
+or kernel change.
+
+``make telemetry`` regenerates the repo-root ``BENCH_spmm.json`` via
+``repro-bench sweep --bench-json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.bench.runner import KernelResult, geomean, speedup_series
+
+__all__ = [
+    "SCHEMA_ID",
+    "bench_document",
+    "write_bench_json",
+    "validate_bench_document",
+]
+
+PathLike = Union[str, Path]
+
+SCHEMA_ID = "repro/bench-spmm/v1"
+
+#: required cell fields -> type checker
+_CELL_FIELDS = {
+    "kernel": str,
+    "graph": str,
+    "n": int,
+    "gpu": str,
+    "time_ms": (int, float),
+    "gflops": (int, float),
+}
+
+_GEOMEAN_FIELDS = {
+    "target": str,
+    "baseline": str,
+    "gpu": str,
+    "n": int,
+    "speedup": (int, float),
+}
+
+
+def bench_document(
+    results: Sequence[KernelResult],
+    target: str = "GE-SpMM",
+    baselines: Optional[Sequence[str]] = None,
+    extra_run_meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the BENCH document from sweep results.
+
+    ``target`` is the kernel whose geomean speedups are reported against
+    every kernel in ``baselines`` (default: every other kernel in the
+    sweep), per (GPU, N) — the aggregation the paper uses (§V-A1).
+    """
+    results = list(results)
+    kernels = sorted({r.kernel for r in results})
+    graphs = sorted({r.graph for r in results})
+    widths = sorted({int(r.n) for r in results})
+    gpus = sorted({r.gpu for r in results})
+    if baselines is None:
+        baselines = [k for k in kernels if k != target]
+
+    cells: List[Dict[str, Any]] = [
+        {
+            "kernel": r.kernel,
+            "graph": r.graph,
+            "n": int(r.n),
+            "gpu": r.gpu,
+            "time_ms": r.time_s * 1e3,
+            "gflops": r.gflops,
+        }
+        for r in sorted(results, key=lambda r: (r.gpu, r.graph, int(r.n), r.kernel))
+    ]
+
+    geomeans: List[Dict[str, Any]] = []
+    if target in kernels:
+        for gpu in gpus:
+            for n in widths:
+                for base in baselines:
+                    series = speedup_series(results, target, base, gpu, n)
+                    if not series:
+                        continue
+                    geomeans.append(
+                        {
+                            "target": target,
+                            "baseline": base,
+                            "gpu": gpu,
+                            "n": int(n),
+                            "speedup": geomean(series.values()),
+                        }
+                    )
+
+    from repro import __version__  # late import: repro imports bench
+
+    run: Dict[str, Any] = {
+        "tool": "repro-bench",
+        "version": __version__,
+        "kernels": kernels,
+        "graphs": graphs,
+        "widths": widths,
+        "gpus": gpus,
+    }
+    run.update(extra_run_meta or {})
+    return {"schema": SCHEMA_ID, "run": run, "cells": cells, "geomeans": geomeans}
+
+
+def write_bench_json(
+    results: Sequence[KernelResult],
+    path: PathLike,
+    target: str = "GE-SpMM",
+    baselines: Optional[Sequence[str]] = None,
+    extra_run_meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialize sweep results to ``path`` and return the document."""
+    doc = bench_document(results, target=target, baselines=baselines,
+                         extra_run_meta=extra_run_meta)
+    errors = validate_bench_document(doc)
+    if errors:  # defensive: a writer bug must not silently ship bad telemetry
+        raise ValueError("invalid BENCH document: " + "; ".join(errors))
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def _check_fields(obj: Any, fields: Dict[str, Any], where: str, errors: List[str]) -> None:
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: expected object, got {type(obj).__name__}")
+        return
+    for name, typ in fields.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field {name!r}")
+        elif not isinstance(obj[name], typ) or isinstance(obj[name], bool):
+            errors.append(f"{where}.{name}: wrong type {type(obj[name]).__name__}")
+
+
+def validate_bench_document(doc: Any) -> List[str]:
+    """Validate a BENCH document against the v1 schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is valid.  Hand-rolled (no jsonschema dependency) but strict
+    about everything downstream diff tooling relies on.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCHEMA_ID:
+        errors.append(f"schema must be {SCHEMA_ID!r}, got {doc.get('schema')!r}")
+
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        errors.append("run: missing or not an object")
+    else:
+        for key in ("tool", "version"):
+            if not isinstance(run.get(key), str):
+                errors.append(f"run.{key}: missing or not a string")
+        for key in ("kernels", "graphs", "widths", "gpus"):
+            if not isinstance(run.get(key), list) or not run.get(key):
+                errors.append(f"run.{key}: missing or empty list")
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells: missing or empty list")
+    else:
+        for i, cell in enumerate(cells):
+            _check_fields(cell, _CELL_FIELDS, f"cells[{i}]", errors)
+        seen = set()
+        for cell in cells:
+            if isinstance(cell, dict):
+                key = (cell.get("kernel"), cell.get("graph"), cell.get("n"), cell.get("gpu"))
+                if key in seen:
+                    errors.append(f"cells: duplicate cell for {key}")
+                seen.add(key)
+
+    geomeans = doc.get("geomeans")
+    if not isinstance(geomeans, list):
+        errors.append("geomeans: missing (use [] when no baselines)")
+    else:
+        for i, g in enumerate(geomeans):
+            _check_fields(g, _GEOMEAN_FIELDS, f"geomeans[{i}]", errors)
+    return errors

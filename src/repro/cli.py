@@ -10,15 +10,25 @@ Installed as ``repro-bench`` (see pyproject).  Examples::
     repro-bench roofline --graph ca-AstroPh --n 256
     repro-bench tune --graph soc-Epinions1 --n 512
     repro-bench oom --n 512
+    repro-bench trace --graph ca-AstroPh --n 128 --trace-out trace.json
+
+``profile``, ``sweep``, ``train`` and ``trace`` accept ``--trace-out``
+(Chrome trace-event JSON, or JSONL with a ``.jsonl`` suffix) and
+``--metrics-out`` (metrics-registry JSONL); ``sweep`` additionally takes
+``--bench-json`` to write the machine-readable BENCH artifact.  See
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
+
+from repro import obs
 
 from repro.baselines import (
     ASpTSpMM,
@@ -83,7 +93,7 @@ def cmd_profile(args) -> int:
     g = _load_graph_arg(args)
     gpu = _gpu_arg(args.gpu)
     kernels = [ALL_KERNELS[k]() for k in args.kernels]
-    reports = [profile_kernel(k, g, args.n, gpu) for k in kernels]
+    reports = [profile_kernel(k, g, args.n, gpu, graph=args.graph) for k in kernels]
     print(f"[{args.graph}] N={args.n} on {gpu.name}")
     print(format_metric_table(reports))
     return 0
@@ -95,6 +105,20 @@ def cmd_sweep(args) -> int:
     gpu = _gpu_arg(args.gpu)
     kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
     results = run_sweep(kernels, suite, args.n, [gpu])
+    if args.bench_json:
+        from repro.bench import write_bench_json
+
+        try:
+            write_bench_json(
+                results,
+                args.bench_json,
+                extra_run_meta={"command": "sweep", "max_nnz": args.max_nnz},
+            )
+        except OSError as exc:
+            print(f"repro-bench: cannot write {args.bench_json}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.bench_json}", file=sys.stderr)
     rows = []
     for g in suite:
         row = [g]
@@ -173,6 +197,22 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run an observed profile pass purely to produce telemetry files."""
+    g = _load_graph_arg(args)
+    gpu = _gpu_arg(args.gpu)
+    kernels = [ALL_KERNELS[k]() for k in args.kernels]
+    with obs.span("trace.profile", graph=args.graph, n=int(args.n), gpu=gpu.name):
+        reports = [profile_kernel(k, g, args.n, gpu, graph=args.graph) for k in kernels]
+    tracer = obs.get_tracer()
+    n_spans = len(tracer.records) if tracer is not None else 0
+    print(f"[{args.graph}] N={args.n} on {gpu.name}: traced {len(reports)} kernels "
+          f"({n_spans} spans)")
+    print(f"writing trace to {args.trace_out}"
+          + (f", metrics to {args.metrics_out}" if args.metrics_out else ""))
+    return 0
+
+
 def cmd_oom(args) -> int:
     from repro.datasets import SNAP_CATALOG
     from repro.gpusim import fits, spmm_footprint
@@ -213,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scaling cap for SNAP twins")
         sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
 
+    def add_telemetry_opts(sp, trace_default=None):
+        sp.add_argument("--trace-out", default=trace_default, metavar="PATH",
+                        help="write a span trace (Chrome trace-event JSON; "
+                             "use a .jsonl suffix for JSONL)")
+        sp.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics registry as JSONL")
+
     sp = sub.add_parser("analyze", help="structural profile of a matrix")
     add_graph_opts(sp)
     sp.set_defaults(fn=cmd_analyze)
@@ -222,12 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--n", type=int, default=128, help="dense feature width")
     sp.add_argument("--kernels", nargs="+", default=["simple", "crc", "gespmm", "cusparse"],
                     choices=sorted(ALL_KERNELS))
+    add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_profile)
 
     sp = sub.add_parser("sweep", help="mini SNAP sweep (Fig 11 style)")
     add_graph_opts(sp)
     sp.add_argument("--graphs", type=int, default=8)
     sp.add_argument("--n", type=int, nargs="+", default=[128, 512])
+    sp.add_argument("--bench-json", default=None, metavar="PATH",
+                    help="write machine-readable sweep telemetry (BENCH_spmm.json)")
+    add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_sweep)
 
     sp = sub.add_parser("train", help="train a GNN on a citation twin")
@@ -240,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--layers", type=int, default=1)
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
+    add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_train)
 
     sp = sub.add_parser("scenario", help="inference / sampled-training amortization")
@@ -263,12 +315,42 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("oom", help="paper-scale out-of-memory report")
     sp.add_argument("--n", type=int, default=512)
     sp.set_defaults(fn=cmd_oom)
+
+    sp = sub.add_parser("trace", help="observed profile run that dumps telemetry")
+    add_graph_opts(sp)
+    sp.add_argument("--n", type=int, default=128, help="dense feature width")
+    sp.add_argument("--kernels", nargs="+", default=["simple", "crc", "gespmm", "cusparse"],
+                    choices=sorted(ALL_KERNELS))
+    add_telemetry_opts(sp, trace_default="trace.json")
+    sp.set_defaults(fn=cmd_trace)
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        return args.fn(args)
+    # Telemetry sinks requested: run the command under a fresh tracer and
+    # dump trace/metrics afterwards.  Sinks never touch stdout, so the
+    # command's own output is unchanged.
+    tracer = obs.Tracer()
+    prev = obs.set_tracer(tracer)
+    try:
+        rc = args.fn(args)
+    finally:
+        obs.set_tracer(prev)
+        try:
+            if trace_out:
+                tracer.write(trace_out)
+            if metrics_out:
+                Path(metrics_out).write_text(obs.get_registry().to_jsonl() + "\n")
+        except OSError as exc:
+            # The run itself succeeded; don't bury that under a traceback.
+            print(f"repro-bench: cannot write telemetry sink: {exc}", file=sys.stderr)
+            rc = 1
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

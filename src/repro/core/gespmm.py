@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.crc import CRCSpMM
 from repro.core.cwm import CWMSpMM
 from repro.core.semiring import PLUS_TIMES, Semiring
@@ -48,7 +49,16 @@ class GESpMM(SpMMKernel):
 
     def select(self, n: int) -> SpMMKernel:
         """The concrete kernel the adaptive dispatch picks for width ``n``."""
-        return self._crc if n <= self.threshold else self._cwm
+        if n <= self.threshold:
+            path, reason = "crc", "n<=threshold: one warp already spans the row"
+            picked: SpMMKernel = self._crc
+        else:
+            path, reason = "cwm", f"n>threshold: warp merging with CF={self.cf} pays"
+            picked = self._cwm
+        obs.get_registry().counter(
+            "gespmm.dispatch", path=path, reason=reason, threshold=self.threshold
+        ).inc()
+        return picked
 
     def run(self, a: CSRMatrix, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
         return self.select(b.shape[1]).run(a, b, semiring)

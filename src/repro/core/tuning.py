@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.crc import CRCSpMM
 from repro.core.cwm import CWMSpMM
 from repro.gpusim.config import GPUSpec
@@ -60,8 +61,25 @@ def tune_cf(
     fastest (what an offline autotuner would measure on hardware)."""
     if not candidates:
         raise ValueError("no CF candidates")
-    times = {cf: _kernel_for(cf).estimate(a, n, gpu).time_s for cf in candidates}
-    best = min(times, key=times.get)
+    with obs.span("tune.cf", n=int(n), gpu=gpu.name,
+                  candidates=list(int(c) for c in candidates)) as s:
+        times = {cf: _kernel_for(cf).estimate(a, n, gpu).time_s for cf in candidates}
+        best = min(times, key=times.get)
+        runner_up = min((t for cf, t in times.items() if cf != best), default=times[best])
+        # Why this CF won: its margin over the runner-up, kept on the span
+        # and in the registry so tuning decisions are auditable later.
+        margin = runner_up / times[best] - 1.0 if times[best] > 0 else 0.0
+        if s is not None:
+            s.attrs["best_cf"] = int(best)
+            s.attrs["margin_over_runner_up"] = margin
+            s.attrs["times_ms"] = {str(cf): t * 1e3 for cf, t in sorted(times.items())}
+    registry = obs.get_registry()
+    registry.counter("tuning.cf_selected", cf=int(best), gpu=gpu.name).inc()
+    registry.observe("tuning.margin_over_runner_up", margin, gpu=gpu.name)
+    if 2 in times and times[2] > 0:
+        registry.observe(
+            "tuning.fixed_cf2_loss", times[2] / times[best] - 1.0, gpu=gpu.name
+        )
     return TuneResult(best_cf=best, times=times)
 
 
@@ -106,6 +124,9 @@ class TunedSpMM(SpMMKernel):
     def _select(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> SpMMKernel:
         key = (id(a), n, gpu.name)
         kernel = self._choice.get(key)
+        obs.get_registry().counter(
+            "tuning.tuned_spmm.lookups", cached=kernel is not None, gpu=gpu.name
+        ).inc()
         if kernel is None:
             result = tune_cf(a, n, gpu, self.candidates)
             kernel = _kernel_for(result.best_cf)

@@ -15,6 +15,7 @@ is not.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -70,7 +71,9 @@ def load_citation(name: str, seed: int = 7) -> CitationDataset:
     if name not in CITATION_STATS:
         raise KeyError(f"unknown citation graph {name!r}; choose from {sorted(CITATION_STATS)}")
     m, n_edges, n_classes, feat_dim = CITATION_STATS[name]
-    rng = np.random.default_rng(seed + hash(name) % 65536)
+    # crc32, not hash(): str hashing is salted per process; the twin must
+    # be the same graph in every run.
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 65536)
 
     labels = rng.integers(0, n_classes, size=m)
 

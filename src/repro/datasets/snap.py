@@ -22,6 +22,7 @@ memory model respond to.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -140,7 +141,10 @@ def load_graph(name: str, max_nnz: Optional[int] = 300_000, seed: int = 11) -> C
         scale = max_nnz / e.nnz
     m = max(int(e.m * scale), 64)
     nnz = max(int(e.nnz * scale), m)
-    gseed = seed + (hash(name) % 100003)
+    # crc32, not hash(): str hashing is salted per process, which would
+    # regenerate a *different* twin (and different simulated times) on
+    # every run — breaking byte-stable benchmark artifacts.
+    gseed = seed + (zlib.crc32(name.encode()) % 100003)
     if e.family in ("social", "web", "comm"):
         g = power_law(m, nnz, exponent=2.1, seed=gseed)
     elif e.family == "road":

@@ -23,7 +23,7 @@ GE-SpMM swap-ins) differ.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -41,9 +41,9 @@ class GraphPair:
 
     def __init__(self, adj: CSRMatrix):
         self.adj = adj
-        self._adj_t: CSRMatrix = None
-        self._row_norm: "GraphPair" = None
-        self._sym_norm: "GraphPair" = None
+        self._adj_t: Optional[CSRMatrix] = None
+        self._row_norm: Optional["GraphPair"] = None
+        self._sym_norm: Optional["GraphPair"] = None
 
     @property
     def adj_t(self) -> CSRMatrix:

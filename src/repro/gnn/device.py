@@ -14,6 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.gpusim.config import GPUSpec, GTX_1080TI
 
 __all__ = ["SimDevice", "OpProfile"]
@@ -75,6 +76,10 @@ class SimDevice:
             raise ValueError("negative simulated time")
         self._totals[op] += seconds
         self._calls[op] += 1
+        # The ledger is the ground truth for simulated device time, so it
+        # is also where spans get their sim-time attribution.
+        obs.add_sim_time(seconds)
+        obs.get_registry().counter("gnn.op.calls", op=op, gpu=self.gpu.name).inc()
 
     def reset(self) -> None:
         self._totals.clear()

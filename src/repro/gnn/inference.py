@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.aspt import ASpTSpMM
 from repro.baselines.cusparse import CusparseCsrmm2, cublas_transpose_time
 from repro.core.gespmm import GESpMM
@@ -56,6 +57,16 @@ def _kernels():
     return ge, cu, asp
 
 
+def _record_scenario(scenario: str, totals: Dict[str, float], gpu: GPUSpec, s) -> None:
+    """Publish per-kernel scenario totals to the span and the registry."""
+    registry = obs.get_registry()
+    for name, t in totals.items():
+        registry.gauge("scenario.time_ms", scenario=scenario, kernel=name,
+                       gpu=gpu.name).set(t * 1e3)
+    if s is not None:
+        s.attrs["times_ms"] = {k: v * 1e3 for k, v in sorted(totals.items())}
+
+
 def inference_scenario(
     graph: CSRMatrix, feature_dim: int, gpu: GPUSpec, n_layers: int = 2
 ) -> ScenarioResult:
@@ -66,14 +77,18 @@ def inference_scenario(
     """
     ge, cu, asp = _kernels()
     totals = {ge.name: 0.0, cu.name: 0.0, asp.name: 0.0}
-    for _ in range(n_layers):
-        totals[ge.name] += ge.estimate(graph, feature_dim, gpu).time_s
-        totals[cu.name] += (
-            cu.estimate(graph, feature_dim, gpu).time_s
-            + cublas_transpose_time(graph.nrows, feature_dim, gpu)
-        )
-        totals[asp.name] += asp.estimate(graph, feature_dim, gpu).time_s
-    totals[asp.name] += asp.preprocess_time(graph, gpu)  # paid once per graph
+    with obs.span("scenario.inference", n=int(feature_dim), gpu=gpu.name,
+                  layers=n_layers) as s:
+        for layer in range(n_layers):
+            with obs.span("scenario.layer", index=layer):
+                totals[ge.name] += ge.estimate(graph, feature_dim, gpu).time_s
+                totals[cu.name] += (
+                    cu.estimate(graph, feature_dim, gpu).time_s
+                    + cublas_transpose_time(graph.nrows, feature_dim, gpu)
+                )
+                totals[asp.name] += asp.estimate(graph, feature_dim, gpu).time_s
+        totals[asp.name] += asp.preprocess_time(graph, gpu)  # paid once per graph
+        _record_scenario("inference", totals, gpu, s)
     return ScenarioResult("inference", totals, spmm_calls=n_layers)
 
 
@@ -92,17 +107,22 @@ def sampled_training_scenario(
     ge, cu, asp = _kernels()
     totals = {ge.name: 0.0, cu.name: 0.0, asp.name: 0.0}
     calls = 0
-    for batch in batch_stream(graph, batch_size, fanout, n_batches, seed=seed):
-        block = batch.block
-        for _ in range(2):  # forward + backward aggregation
-            calls += 1
-            totals[ge.name] += ge.estimate(block, feature_dim, gpu).time_s
-            totals[cu.name] += (
-                cu.estimate(block, feature_dim, gpu).time_s
-                + cublas_transpose_time(block.nrows, feature_dim, gpu)
-            )
-            totals[asp.name] += asp.estimate(block, feature_dim, gpu).time_s
-        totals[asp.name] += asp.preprocess_time(block, gpu)  # per fresh batch
+    with obs.span("scenario.sampled-training", n=int(feature_dim), gpu=gpu.name,
+                  batches=n_batches) as s:
+        for i, batch in enumerate(batch_stream(graph, batch_size, fanout, n_batches,
+                                               seed=seed)):
+            block = batch.block
+            with obs.span("scenario.batch", index=i, block_nnz=block.nnz):
+                for _ in range(2):  # forward + backward aggregation
+                    calls += 1
+                    totals[ge.name] += ge.estimate(block, feature_dim, gpu).time_s
+                    totals[cu.name] += (
+                        cu.estimate(block, feature_dim, gpu).time_s
+                        + cublas_transpose_time(block.nrows, feature_dim, gpu)
+                    )
+                    totals[asp.name] += asp.estimate(block, feature_dim, gpu).time_s
+                totals[asp.name] += asp.preprocess_time(block, gpu)  # per fresh batch
+        _record_scenario("sampled-training", totals, gpu, s)
     return ScenarioResult("sampled-training", totals, spmm_calls=calls)
 
 

@@ -16,7 +16,7 @@ designs — the extension benchmark prices exactly this loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -38,7 +38,7 @@ class MinibatchSAGE:
     a linear classifier."""
 
     def __init__(self, in_dim: int, hidden: int, n_classes: int,
-                 rng: np.random.Generator = None):
+                 rng: Optional[np.random.Generator] = None):
         rng = rng or np.random.default_rng(0)
         self.w_enc = Parameter(glorot((2 * in_dim, hidden), rng), name="mb.w_enc")
         self.b_enc = Parameter(np.zeros(hidden, dtype=np.float32), name="mb.b_enc")

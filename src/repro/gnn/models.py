@@ -8,10 +8,11 @@ show no speedup — Section V-F1).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.gnn import functional as F
 from repro.gnn.aggregate import GraphPair
 from repro.gnn.frameworks import AggregationBackend
@@ -21,6 +22,26 @@ from repro.gnn.tensor import Parameter, Tensor
 __all__ = ["GCN", "GraphSAGE"]
 
 _LAYER_TYPES = {"gcn": GCNLayer, "sage-gcn": SAGEGcnLayer, "sage-pool": SAGEPoolLayer}
+
+
+def _spmm_ledger_time(backend: AggregationBackend) -> float:
+    """Simulated seconds the device ledger currently attributes to sparse
+    aggregation (SpMM + SpMM-like + PyG MessagePassing)."""
+    profile = backend.device.profile()
+    return (
+        profile.time("SpMM") + profile.time("SpMM-like") + profile.time("MessagePassing")
+    )
+
+
+def _run_layer(backend: AggregationBackend, g: GraphPair, h, layer, index: int):
+    """One layer forward under a ``gnn.layer`` span; the span carries the
+    layer's total simulated time and its sparse-aggregation share."""
+    with obs.span("gnn.layer", index=index, kind=type(layer).__name__) as s:
+        spmm_before = _spmm_ledger_time(backend) if s is not None else 0.0
+        h = layer(backend, g, h)
+        if s is not None:
+            s.attrs["spmm_time_ms"] = (_spmm_ledger_time(backend) - spmm_before) * 1e3
+    return h
 
 
 class _Model:
@@ -52,7 +73,7 @@ class GCN(_Model):
         hidden: int,
         n_classes: int,
         n_layers: int = 1,
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
         dropout: float = 0.5,
     ):
         super().__init__()
@@ -69,7 +90,7 @@ class GCN(_Model):
         for i, layer in enumerate(self.layers):
             if i > 0:
                 h = F.dropout(h, self.dropout, backend.device, self.training, rng)
-            h = layer(backend, g, h)
+            h = _run_layer(backend, g, h, layer, i)
         return F.log_softmax(h, backend.device)
 
 
@@ -84,7 +105,7 @@ class GraphSAGE(_Model):
         n_classes: int,
         n_layers: int = 1,
         aggregator: str = "gcn",
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
         dropout: float = 0.5,
     ):
         super().__init__()
@@ -105,5 +126,5 @@ class GraphSAGE(_Model):
         for i, layer in enumerate(self.layers):
             if i > 0:
                 h = F.dropout(h, self.dropout, backend.device, self.training, rng)
-            h = layer(backend, g, h)
+            h = _run_layer(backend, g, h, layer, i)
         return F.log_softmax(h, backend.device)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.gnn import functional as F
 from repro.gnn.aggregate import GraphPair
 from repro.gnn.device import OpProfile, SimDevice
@@ -102,16 +103,25 @@ def train(
 
     losses: List[float] = []
     model.train()
+    registry = obs.get_registry()
     for epoch in range(epochs + warmup):
         if epoch == warmup:
             device.reset()
-        optimizer.zero_grad()
-        log_probs = model(backend, g, x, rng=rng)
-        loss = F.nll_loss(log_probs, dataset.labels, device, mask=dataset.train_mask)
-        loss.backward()
-        optimizer.step()
+        with obs.span("train.epoch", epoch=epoch, warmup=epoch < warmup,
+                      backend=backend.name, dataset=getattr(dataset, "name", "?")) as s:
+            optimizer.zero_grad()
+            log_probs = model(backend, g, x, rng=rng)
+            loss = F.nll_loss(log_probs, dataset.labels, device, mask=dataset.train_mask)
+            loss.backward()
+            optimizer.step()
+            if s is not None:
+                s.attrs["loss"] = float(loss.data)
         if epoch >= warmup:
             losses.append(float(loss.data))
+            registry.observe("train.epoch.loss", float(loss.data),
+                             backend=backend.name, gpu=device.gpu.name)
+            registry.counter("train.epochs", backend=backend.name,
+                             gpu=device.gpu.name).inc()
 
     profile = device.profile()  # capture before the (unprofiled) eval pass
     model.eval()

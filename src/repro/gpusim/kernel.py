@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.semiring import PLUS_TIMES, Semiring
 from repro.gpusim.config import GPUSpec
 from repro.gpusim.memory import KernelStats
@@ -84,9 +85,19 @@ class SpMMKernel(ABC):
         key = (id(a), a.nnz, a.shape, int(n), gpu.name, semiring.name, id(params))
         cached = self._estimate_cache.get(key)
         if cached is not None:
+            obs.get_registry().counter(
+                "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=True
+            ).inc()
             return cached
-        stats, launch, hints = self.count(a, int(n), gpu)
-        timing = estimate_time(stats, launch, gpu, hints, params or TimingParams())
+        obs.get_registry().counter(
+            "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=False
+        ).inc()
+        with obs.span("kernel.estimate", kernel=self.name, n=int(n), gpu=gpu.name) as s:
+            stats, launch, hints = self.count(a, int(n), gpu)
+            timing = estimate_time(stats, launch, gpu, hints, params or TimingParams())
+            if s is not None:
+                s.attrs["time_ms"] = timing.time_s * 1e3
+                s.attrs["bound_by"] = timing.bound_by
         self._estimate_cache[key] = timing
         return timing
 

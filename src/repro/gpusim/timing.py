@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro import obs
 from repro.gpusim.config import GPUSpec
 from repro.gpusim.memory import KernelStats, SECTOR
 from repro.gpusim.occupancy import LaunchConfig, Occupancy, compute_occupancy
@@ -230,6 +231,11 @@ def estimate_time(
     breakdown = dict(components)
     breakdown["sync"] = t_sync
     breakdown["launch"] = gpu.launch_overhead_s
+
+    registry = obs.get_registry()
+    registry.counter("sim.timing.launches", gpu=gpu.name).inc()
+    registry.counter("sim.timing.bound_by", bound=bound_by, gpu=gpu.name).inc()
+    registry.observe("sim.timing.time_ms", time_s * 1e3, gpu=gpu.name)
 
     return KernelTiming(
         time_s=time_s,

@@ -16,7 +16,7 @@ assumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -210,7 +210,7 @@ class CSRMatrix:
 def csr_from_coo(
     rows: Iterable[int],
     cols: Iterable[int],
-    values: Iterable[float] = None,
+    values: Optional[Iterable[float]] = None,
     *,
     shape: Tuple[int, int],
     sum_duplicates: bool = False,

@@ -1,0 +1,84 @@
+"""BENCH_spmm.json writer: schema validity, determinism, geomeans."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import CusparseCsrmm2
+from repro.bench import run_sweep, write_bench_json
+from repro.bench.telemetry import (
+    SCHEMA_ID,
+    bench_document,
+    validate_bench_document,
+)
+from repro.core import GESpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI, RTX_2080
+from repro.sparse import uniform_random
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    graphs = {
+        "rand-a": uniform_random(m=600, nnz=4800, seed=1),
+        "rand-b": uniform_random(m=400, nnz=6400, seed=2),
+    }
+    kernels = [SimpleSpMM(), CusparseCsrmm2(), GESpMM()]
+    return run_sweep(kernels, graphs, [64, 128], [GTX_1080TI, RTX_2080])
+
+
+def test_document_shape_and_validity(sweep_results):
+    doc = bench_document(sweep_results)
+    assert validate_bench_document(doc) == []
+    assert doc["schema"] == SCHEMA_ID
+    # one cell per (kernel, graph, n, gpu)
+    assert len(doc["cells"]) == 3 * 2 * 2 * 2
+    assert doc["run"]["widths"] == [64, 128]
+    assert set(doc["run"]["gpus"]) == {GTX_1080TI.name, RTX_2080.name}
+    # GE-SpMM vs both baselines, per (gpu, n)
+    assert len(doc["geomeans"]) == 2 * 2 * 2
+    for g in doc["geomeans"]:
+        assert g["target"] == "GE-SpMM"
+        assert g["speedup"] > 0
+
+
+def test_cells_sorted_and_deterministic(sweep_results):
+    a = bench_document(sweep_results)
+    b = bench_document(list(reversed(sweep_results)))
+    assert a == b  # input order must not leak into the artifact
+
+
+def test_write_round_trips_through_json(tmp_path, sweep_results):
+    path = tmp_path / "BENCH_spmm.json"
+    doc = write_bench_json(sweep_results, path, extra_run_meta={"command": "test"})
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(doc))
+    assert validate_bench_document(loaded) == []
+    assert loaded["run"]["command"] == "test"
+    # rewriting produces byte-identical content (diffable across PRs)
+    before = path.read_bytes()
+    write_bench_json(sweep_results, path, extra_run_meta={"command": "test"})
+    assert path.read_bytes() == before
+
+
+def test_validator_catches_corruption(sweep_results):
+    doc = bench_document(sweep_results)
+    assert validate_bench_document({"schema": "nope"})  # wrong everything
+    bad = json.loads(json.dumps(doc))
+    bad["cells"][0].pop("gflops")
+    assert any("gflops" in e for e in validate_bench_document(bad))
+    bad = json.loads(json.dumps(doc))
+    bad["cells"].append(dict(bad["cells"][0]))
+    assert any("duplicate" in e for e in validate_bench_document(bad))
+    bad = json.loads(json.dumps(doc))
+    bad["cells"][0]["n"] = "128"
+    assert any("cells[0].n" in e for e in validate_bench_document(bad))
+    assert validate_bench_document([]) != []
+
+
+def test_missing_target_yields_empty_geomeans(sweep_results):
+    only_baselines = [r for r in sweep_results if r.kernel != "GE-SpMM"]
+    doc = bench_document(only_baselines)
+    assert doc["geomeans"] == []
+    assert validate_bench_document(doc) == []

@@ -1,0 +1,115 @@
+"""CLI telemetry end-to-end: --trace-out / --metrics-out / --bench-json.
+
+Runs the real ``repro-bench`` entry point in-process against a tmpdir and
+checks the acceptance contract: valid Chrome-trace JSON, a metrics JSONL
+carrying the paper's four nvprof metrics for every profiled kernel, a
+schema-valid BENCH artifact from ``sweep``, and byte-identical stdout
+when no sink is configured.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.telemetry import validate_bench_document
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+
+NVPROF_METRICS = (
+    "nvprof.gld_transactions",
+    "nvprof.gld_efficiency",
+    "nvprof.gld_throughput",
+    "nvprof.achieved_occupancy",
+)
+
+SMALL_GRAPH = ["--graph", "random", "--m", "3000", "--nnz", "24000"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    prev = obs.set_registry(MetricsRegistry())
+    yield
+    obs.set_registry(prev)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = main(argv)
+    return rc, out.getvalue()
+
+
+def test_profile_trace_and_metrics_out(tmp_path):
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.jsonl"
+    kernels = ["simple", "crc", "gespmm", "cusparse"]
+    rc, _ = run_cli(
+        ["profile", *SMALL_GRAPH, "--n", "64", "--kernels", *kernels,
+         "--trace-out", str(trace), "--metrics-out", str(metrics)]
+    )
+    assert rc == 0
+
+    doc = json.loads(trace.read_text())  # valid Chrome trace JSON
+    events = doc["traceEvents"]
+    assert [e["name"] for e in events].count("profile.kernel") == len(kernels)
+    assert all(e["ts"] >= 0 and e.get("dur", 0) >= 0 for e in events)
+
+    lines = [json.loads(l) for l in metrics.read_text().splitlines() if l.strip()]
+    for metric in NVPROF_METRICS:
+        profiled = {l["labels"]["kernel"] for l in lines if l["name"] == metric}
+        assert {"simple", "crc", "GE-SpMM", "cuSPARSE csrmm2"} <= profiled
+
+
+def test_trace_subcommand_writes_default_chrome_trace(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    rc, out = run_cli(["trace", *SMALL_GRAPH, "--n", "64"])
+    assert rc == 0
+    assert "traced 4 kernels" in out
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    assert any(e["name"] == "trace.profile" for e in doc["traceEvents"])
+
+
+def test_trace_out_jsonl_suffix_switches_format(tmp_path):
+    trace = tmp_path / "t.jsonl"
+    rc, _ = run_cli(["profile", *SMALL_GRAPH, "--n", "64", "--trace-out", str(trace)])
+    assert rc == 0
+    spans = [json.loads(l) for l in trace.read_text().splitlines() if l.strip()]
+    assert {"name", "parent", "sim_time_s", "attrs"} <= set(spans[0])
+
+
+def test_sweep_bench_json_is_schema_valid(tmp_path):
+    bench = tmp_path / "BENCH_spmm.json"
+    rc, _ = run_cli(
+        ["sweep", "--graphs", "2", "--max-nnz", "20000", "--n", "64",
+         "--bench-json", str(bench)]
+    )
+    assert rc == 0
+    doc = json.loads(bench.read_text())
+    assert validate_bench_document(doc) == []
+    assert doc["run"]["command"] == "sweep"
+    assert {c["kernel"] for c in doc["cells"]} == {
+        "GraphBLAST rowsplit", "cuSPARSE csrmm2", "GE-SpMM"
+    }
+    assert doc["geomeans"]  # GE-SpMM vs both baselines
+
+
+def test_stdout_byte_identical_with_and_without_sinks(tmp_path):
+    argv = ["profile", *SMALL_GRAPH, "--n", "64"]
+    _, plain = run_cli(argv)
+    _, sinked = run_cli(
+        argv + ["--trace-out", str(tmp_path / "t.json"),
+                "--metrics-out", str(tmp_path / "m.jsonl")]
+    )
+    assert plain == sinked  # zero-overhead-by-default contract
+    assert plain.startswith("[random] N=64")
+
+
+def test_tracer_uninstalled_after_cli_run(tmp_path):
+    run_cli(["profile", *SMALL_GRAPH, "--n", "64",
+             "--trace-out", str(tmp_path / "t.json")])
+    assert obs.get_tracer() is None

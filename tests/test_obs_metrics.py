@@ -1,0 +1,154 @@
+"""Metrics registry: labeled series, deterministic histograms, JSONL."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    prev = set_registry(fresh)
+    yield fresh
+    set_registry(prev)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_keeps_last_value():
+    g = Gauge()
+    assert g.value is None
+    g.set(1.0)
+    g.set(7.25)
+    assert g.value == 7.25
+
+
+def test_registry_get_or_create_same_object(registry):
+    a = registry.counter("hits", kernel="GE-SpMM")
+    b = registry.counter("hits", kernel="GE-SpMM")
+    other = registry.counter("hits", kernel="cuSPARSE")
+    assert a is b and a is not other
+    a.inc()
+    assert registry.counter("hits", kernel="GE-SpMM").value == 1
+
+
+def test_labels_are_order_insensitive(registry):
+    registry.counter("x", a=1, b=2).inc()
+    registry.counter("x", b=2, a=1).inc()
+    assert len(registry) == 1
+    assert registry.counter("x", a=1, b=2).value == 2
+
+
+def test_histogram_bucket_percentiles_are_exact_bounds():
+    h = Histogram(buckets=(1.0, 2.0, 5.0, 10.0))
+    for v in (0.5, 1.5, 1.7, 3.0, 9.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.min == 0.5 and h.max == 9.0
+    # nearest-rank on cumulative bucket counts: p50 -> rank 3 -> bucket (1,2]
+    assert h.percentile(50) == 2.0
+    assert h.percentile(95) == 10.0
+    assert h.percentile(99) == 10.0
+
+
+def test_histogram_overflow_reports_observed_max():
+    h = Histogram(buckets=(1.0, 2.0))
+    h.observe(100.0)
+    h.observe(50.0)
+    assert h.percentile(50) == 100.0
+    assert h.percentile(99) == 100.0
+
+
+def test_histogram_percentiles_deterministic_across_runs_and_order():
+    rng = random.Random(7)
+    values = [rng.uniform(0.001, 400.0) for _ in range(500)]
+    snapshots = []
+    for order in (values, sorted(values), list(reversed(values))):
+        h = Histogram()
+        for v in order:
+            h.observe(v)
+        snap = h.snapshot()
+        snapshots.append((snap["p50"], snap["p95"], snap["p99"]))
+    assert snapshots[0] == snapshots[1] == snapshots[2]
+    # Percentiles are bucket upper edges: members of the fixed ladder.
+    assert all(p in DEFAULT_BUCKETS for p in snapshots[0])
+
+
+def test_histogram_empty_and_bad_bounds():
+    h = Histogram()
+    assert h.percentile(50) == 0.0
+    assert h.snapshot()["count"] == 0
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+    with pytest.raises(ValueError):
+        Histogram(buckets=(2.0, 1.0))
+
+
+def test_observe_shorthand_and_len(registry):
+    registry.observe("time_ms", 3.0, kernel="GE-SpMM", graph="cora", n=128, gpu="P")
+    registry.observe("time_ms", 4.0, kernel="GE-SpMM", graph="cora", n=128, gpu="P")
+    assert len(registry) == 1
+    h = registry.histogram("time_ms", kernel="GE-SpMM", graph="cora", n=128, gpu="P")
+    assert h.count == 2
+
+
+def test_jsonl_deterministic_for_identical_population():
+    def populate(reg):
+        reg.counter("launches", gpu="GTX 1080Ti").inc(3)
+        reg.gauge("gflops", kernel="GE-SpMM", graph="cora", n=128, gpu="P").set(250.0)
+        for v in (0.5, 2.0, 8.0):
+            reg.observe("time_ms", v, gpu="P")
+
+    a, b = MetricsRegistry(), MetricsRegistry()
+    populate(a)
+    populate(b)
+    assert a.to_jsonl() == b.to_jsonl()
+    lines = [json.loads(l) for l in a.to_jsonl().splitlines()]
+    assert len(lines) == 3
+    by_name = {l["name"]: l for l in lines}
+    assert by_name["launches"]["value"] == 3
+    assert by_name["launches"]["type"] == "counter"
+    assert by_name["gflops"]["labels"]["graph"] == "cora"
+    assert by_name["time_ms"]["count"] == 3
+    assert {"p50", "p95", "p99"} <= set(by_name["time_ms"])
+
+
+def test_jsonl_orders_mixed_label_types_without_error():
+    reg = MetricsRegistry()
+    reg.counter("m", key=1).inc()
+    reg.counter("m", key="one").inc()
+    lines = reg.to_jsonl().splitlines()
+    assert len(lines) == 2  # no TypeError from comparing int/str label values
+
+
+def test_global_registry_swap(registry):
+    assert get_registry() is registry
+    registry.counter("c").inc()
+    assert get_registry().counter("c").value == 1
+
+
+def test_reset_clears_series(registry):
+    registry.counter("c").inc()
+    registry.reset()
+    assert len(registry) == 0
+    assert registry.to_jsonl() == ""

@@ -1,0 +1,159 @@
+"""Span tracer: nesting, exception safety, export round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import SpanRecord, Tracer
+
+
+@pytest.fixture
+def clock():
+    """Deterministic 1ms-per-call clock."""
+
+    class Tick:
+        def __init__(self):
+            self.t = 0.0
+
+        def __call__(self):
+            self.t += 0.001
+            return self.t
+
+    return Tick()
+
+
+@pytest.fixture
+def tracer(clock):
+    t = Tracer(clock=clock)
+    prev = obs.set_tracer(t)
+    yield t
+    obs.set_tracer(prev)
+
+
+def test_span_is_noop_without_tracer():
+    assert obs.get_tracer() is None
+    with obs.span("anything", x=1) as s:
+        assert s is None
+    obs.add_sim_time(1.0)  # must not raise
+    obs.event("nothing")  # must not raise
+
+
+def test_spans_nest_with_parent_and_depth(tracer):
+    with obs.span("outer", a=1):
+        with obs.span("inner"):
+            with obs.span("leaf"):
+                pass
+        with obs.span("sibling"):
+            pass
+    outer, inner, leaf, sibling = tracer.records
+    assert [r.name for r in tracer.records] == ["outer", "inner", "leaf", "sibling"]
+    assert outer.parent is None and outer.depth == 0
+    assert inner.parent == outer.index and inner.depth == 1
+    assert leaf.parent == inner.index and leaf.depth == 2
+    assert sibling.parent == outer.index and sibling.depth == 1
+    assert tracer.open_depth == 0
+    assert all(r.end_s is not None for r in tracer.records)
+    assert outer.duration_s >= inner.duration_s > 0
+
+
+def test_spans_close_and_unwind_under_exceptions(tracer):
+    with pytest.raises(ValueError):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                raise ValueError("boom")
+    outer, inner = tracer.records
+    assert tracer.open_depth == 0  # nothing leaked on the stack
+    assert inner.status == "error" and inner.end_s is not None
+    assert outer.status == "error" and outer.end_s is not None
+    # The tracer is still usable afterwards.
+    with obs.span("after"):
+        pass
+    assert tracer.records[-1].name == "after"
+    assert tracer.records[-1].status == "ok"
+    assert tracer.records[-1].depth == 0
+
+
+def test_sim_time_attributed_to_all_open_spans(tracer):
+    with obs.span("epoch"):
+        with obs.span("layer0"):
+            obs.add_sim_time(0.5)
+        with obs.span("layer1"):
+            obs.add_sim_time(0.25)
+    epoch, layer0, layer1 = tracer.records
+    assert layer0.sim_time_s == pytest.approx(0.5)
+    assert layer1.sim_time_s == pytest.approx(0.25)
+    assert epoch.sim_time_s == pytest.approx(0.75)  # rolls up to ancestors
+
+
+def test_late_attrs_and_events(tracer):
+    with obs.span("tune", n=128) as s:
+        s.attrs["best_cf"] = 2
+        obs.event("candidate", cf=4)
+    rec = tracer.records[0]
+    assert rec.attrs == {"n": 128, "best_cf": 2}
+    assert rec.events[0]["name"] == "candidate"
+    assert rec.events[0]["attrs"] == {"cf": 4}
+
+
+def test_jsonl_export_parses_line_per_span(tracer):
+    with obs.span("a", k="v"):
+        with obs.span("b"):
+            obs.add_sim_time(0.001)
+    lines = tracer.to_jsonl().splitlines()
+    assert len(lines) == 2
+    objs = [json.loads(l) for l in lines]
+    assert objs[0]["name"] == "a" and objs[0]["attrs"] == {"k": "v"}
+    assert objs[1]["parent"] == 0
+    assert objs[1]["sim_time_s"] == pytest.approx(0.001)
+
+
+def test_chrome_trace_round_trips_through_json(tracer):
+    with obs.span("outer", kernel="GE-SpMM"):
+        obs.event("marker", note="hi")
+        with obs.span("inner"):
+            obs.add_sim_time(0.002)
+    doc = json.loads(json.dumps(tracer.to_chrome()))
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [e["name"] for e in complete] == ["outer", "inner"]
+    assert [e["name"] for e in instants] == ["marker"]
+    for e in complete:
+        assert e["ts"] >= 0 and e["dur"] >= 0  # microseconds
+        assert "sim_time_ms" in e["args"]
+    assert complete[0]["args"]["kernel"] == "GE-SpMM"
+    assert complete[1]["args"]["sim_time_ms"] == pytest.approx(2.0)
+
+
+def test_write_selects_format_by_suffix(tracer, tmp_path):
+    with obs.span("x"):
+        pass
+    chrome = tracer.write(tmp_path / "t.json")
+    jsonl = tracer.write(tmp_path / "t.jsonl")
+    assert "traceEvents" in json.loads(chrome.read_text())
+    assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "x"
+
+
+def test_tracing_context_restores_previous_tracer():
+    before = obs.get_tracer()
+    with obs.tracing() as t:
+        assert obs.get_tracer() is t
+        with obs.span("inside"):
+            pass
+    assert obs.get_tracer() is before
+    assert t.records[0].name == "inside"
+
+
+def test_end_without_open_span_raises():
+    t = Tracer()
+    with pytest.raises(RuntimeError):
+        t.end()
+
+
+def test_span_record_duration_zero_while_open():
+    rec = SpanRecord(name="open", index=0, parent=None, depth=0, start_s=1.0)
+    assert rec.duration_s == 0.0
