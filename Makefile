@@ -1,6 +1,6 @@
 # Convenience targets for the GE-SpMM reproduction.
 
-.PHONY: install test bench examples artifacts telemetry clean
+.PHONY: install test bench examples artifacts telemetry gate clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,13 @@ examples:
 # Deterministic: rerunning on an unchanged tree reproduces the file exactly.
 telemetry:
 	PYTHONPATH=src python -m repro.cli sweep --graphs 6 --n 128 512 --bench-json BENCH_spmm.json
+
+# Benchmark regression gate: regenerate the telemetry sweep in-process
+# and diff it against the committed BENCH_spmm.json.  Exits 1 on any
+# cell/geomean drift without an entry in BENCH_accepted_drift.json;
+# see docs/OBSERVABILITY.md for the workflow.
+gate:
+	PYTHONPATH=src python -m repro.cli gate --baseline BENCH_spmm.json --graphs 6 --n 128 512
 
 # The two artifact files DESIGN/EXPERIMENTS reference.
 artifacts:

@@ -1,10 +1,23 @@
 """Benchmark harness: sweep runner, aggregation, and reporting helpers."""
 
+from repro.bench.gate import (
+    AcceptedDrift,
+    Drift,
+    GateError,
+    GateReport,
+    GateThresholds,
+    diff_documents,
+    gate_paths,
+    load_accepted_drift,
+    load_bench_document,
+)
 from repro.bench.regression import (
     RegressionEntry,
     capture,
     compare,
+    document_measurements,
     load_baseline,
+    measurement_key,
     save_baseline,
 )
 from repro.bench.report import PaperClaim, comparison, render_claims
@@ -37,6 +50,17 @@ __all__ = [
     "compare",
     "save_baseline",
     "load_baseline",
+    "measurement_key",
+    "document_measurements",
+    "AcceptedDrift",
+    "Drift",
+    "GateError",
+    "GateReport",
+    "GateThresholds",
+    "diff_documents",
+    "gate_paths",
+    "load_accepted_drift",
+    "load_bench_document",
     "PaperClaim",
     "comparison",
     "render_claims",

@@ -6,8 +6,12 @@ shifts a headline number shows up as a diff against a stored baseline.
 ``capture`` records a suite of (kernel, graph, N, GPU) timings to JSON;
 ``compare`` reports relative drifts beyond a tolerance.
 
-Used by ``tests/test_regression_harness.py`` and available to CI via
-``repro-bench`` consumers.
+This flat ``{key: seconds}`` layer interoperates with the richer
+document-level gate (:mod:`repro.bench.gate`): both use the same cell-key
+format (:func:`measurement_key`), and :func:`document_measurements`
+collapses a ``repro/bench-spmm/v1`` document into the map ``compare``
+consumes.  Covered by ``tests/test_regression_harness.py``; CI runs the
+document-level gate via ``repro-bench gate`` / ``make gate``.
 """
 
 from __future__ import annotations
@@ -15,13 +19,21 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Any, Dict, List, Sequence, Union
 
 from repro.gpusim.config import GPUSpec
 from repro.gpusim.kernel import SpMMKernel
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["RegressionEntry", "capture", "save_baseline", "load_baseline", "compare"]
+__all__ = [
+    "RegressionEntry",
+    "measurement_key",
+    "capture",
+    "save_baseline",
+    "load_baseline",
+    "compare",
+    "document_measurements",
+]
 
 PathLike = Union[str, Path]
 
@@ -49,8 +61,14 @@ class RegressionEntry:
         return f"{self.key}: {self.baseline_s:.3e}s -> {self.current_s:.3e}s ({sign}{self.drift * 100:.1f}%)"
 
 
+def measurement_key(kernel: str, graph: str, n: int, gpu: str) -> str:
+    """The canonical cell key shared by this harness and the document
+    gate: ``kernel|graph|N=<n>|gpu``."""
+    return f"{kernel}|{graph}|N={int(n)}|{gpu}"
+
+
 def _key(kernel: SpMMKernel, graph_name: str, n: int, gpu: GPUSpec) -> str:
-    return f"{kernel.name}|{graph_name}|N={n}|{gpu.name}"
+    return measurement_key(kernel.name, graph_name, n, gpu.name)
 
 
 def capture(
@@ -101,3 +119,21 @@ def compare(
         if key not in baseline:
             drifted.append(RegressionEntry(key, 0.0, current[key]))
     return drifted
+
+
+def document_measurements(doc: Dict[str, Any]) -> Dict[str, float]:
+    """Collapse a ``repro/bench-spmm/v1`` document into the flat
+    ``{key: seconds}`` map :func:`compare` consumes.
+
+    The inverse direction is lossy on purpose: the document also carries
+    GFLOPS and geomeans, which the flat harness does not model — use
+    :func:`repro.bench.gate.diff_documents` when those matter.
+    """
+    cells = doc.get("cells") if isinstance(doc, dict) else None
+    if not isinstance(cells, list):
+        raise ValueError("not a BENCH document: missing 'cells' list")
+    out: Dict[str, float] = {}
+    for cell in cells:
+        key = measurement_key(cell["kernel"], cell["graph"], cell["n"], cell["gpu"])
+        out[key] = float(cell["time_ms"]) / 1e3
+    return out

@@ -18,6 +18,7 @@ or kernel change.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -143,6 +144,12 @@ def _check_fields(obj: Any, fields: Dict[str, Any], where: str, errors: List[str
             errors.append(f"{where}: missing field {name!r}")
         elif not isinstance(obj[name], typ) or isinstance(obj[name], bool):
             errors.append(f"{where}.{name}: wrong type {type(obj[name]).__name__}")
+        elif isinstance(obj[name], float) and not math.isfinite(obj[name]):
+            # NaN/inf would poison every downstream drift ratio and does
+            # not survive strict JSON round-trips.
+            errors.append(f"{where}.{name}: non-finite value {obj[name]!r}")
+        elif name in ("time_ms", "gflops", "speedup") and obj[name] < 0:
+            errors.append(f"{where}.{name}: negative value {obj[name]!r}")
 
 
 def validate_bench_document(doc: Any) -> List[str]:

@@ -11,17 +11,21 @@ Installed as ``repro-bench`` (see pyproject).  Examples::
     repro-bench tune --graph soc-Epinions1 --n 512
     repro-bench oom --n 512
     repro-bench trace --graph ca-AstroPh --n 128 --trace-out trace.json
+    repro-bench gate --baseline BENCH_spmm.json
 
 ``profile``, ``sweep``, ``train`` and ``trace`` accept ``--trace-out``
 (Chrome trace-event JSON, or JSONL with a ``.jsonl`` suffix) and
 ``--metrics-out`` (metrics-registry JSONL); ``sweep`` additionally takes
-``--bench-json`` to write the machine-readable BENCH artifact.  See
-docs/OBSERVABILITY.md.
+``--bench-json`` to write the machine-readable BENCH artifact.  ``gate``
+regenerates (or loads) a current BENCH document and fails with exit
+code 1 on timing-model drift that lacks an accepted-drift annotation.
+See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -213,6 +217,66 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _regenerate_document(args):
+    """Rebuild the BENCH document in-process with ``make telemetry``'s
+    sweep parameters — the 'current' side of the gate when no document
+    file is given."""
+    from repro.bench import bench_document
+
+    names = catalog_names()[: args.graphs]
+    suite = load_suite(max_nnz=args.max_nnz, names=names)
+    gpu = _gpu_arg(args.gpu)
+    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
+    results = run_sweep(kernels, suite, args.n, [gpu])
+    return bench_document(
+        results, extra_run_meta={"command": "sweep", "max_nnz": args.max_nnz}
+    )
+
+
+def cmd_gate(args) -> int:
+    from repro.bench.gate import (
+        EXIT_USAGE,
+        GateError,
+        GateThresholds,
+        diff_documents,
+        load_accepted_drift,
+        load_bench_document,
+    )
+
+    thresholds = GateThresholds(
+        time_rel_tol=args.time_tol,
+        gflops_rel_tol=args.gflops_tol,
+        geomean_rel_tol=args.geomean_tol,
+    )
+    try:
+        baseline = load_bench_document(args.baseline)
+        if args.current is not None:
+            current = load_bench_document(args.current)
+        else:
+            current = _regenerate_document(args)
+        accept_path = args.accept
+        if accept_path is None:
+            default = Path(args.baseline).parent / "BENCH_accepted_drift.json"
+            accept_path = default if default.exists() else None
+        accepted = load_accepted_drift(accept_path) if accept_path else []
+        report = diff_documents(baseline, current, thresholds=thresholds,
+                                accepted=accepted)
+    except GateError as exc:
+        print(f"repro-bench gate: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(report.format())
+    if args.json_out:
+        try:
+            Path(args.json_out).write_text(
+                json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            print(f"repro-bench gate: cannot write {args.json_out}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    return report.exit_code
+
+
 def cmd_oom(args) -> int:
     from repro.datasets import SNAP_CATALOG
     from repro.gpusim import fits, spmm_footprint
@@ -311,6 +375,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_graph_opts(sp)
     sp.add_argument("--n", type=int, default=512)
     sp.set_defaults(fn=cmd_tune)
+
+    sp = sub.add_parser(
+        "gate",
+        help="benchmark regression gate: diff BENCH documents, fail on drift",
+    )
+    sp.add_argument("--baseline", default="BENCH_spmm.json", metavar="PATH",
+                    help="committed BENCH document to gate against")
+    sp.add_argument("--current", default=None, metavar="PATH",
+                    help="current BENCH document; omitted = regenerate the "
+                         "telemetry sweep in-process")
+    sp.add_argument("--accept", default=None, metavar="PATH",
+                    help="accepted-drift annotation file (default: "
+                         "BENCH_accepted_drift.json next to the baseline, "
+                         "if present)")
+    sp.add_argument("--time-tol", type=float, default=0.0, metavar="REL",
+                    help="relative tolerance for per-cell time drift")
+    sp.add_argument("--gflops-tol", type=float, default=0.0, metavar="REL",
+                    help="relative tolerance for per-cell GFLOPS drift")
+    sp.add_argument("--geomean-tol", type=float, default=0.0, metavar="REL",
+                    help="relative tolerance for geomean-speedup drift")
+    sp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="also write the machine-readable gate report")
+    # Regeneration knobs; must mirror `make telemetry` for a clean tree
+    # to gate green against the committed document.
+    sp.add_argument("--graphs", type=int, default=6)
+    sp.add_argument("--n", type=int, nargs="+", default=[128, 512])
+    sp.add_argument("--max-nnz", type=int, default=300_000)
+    sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
+    sp.set_defaults(fn=cmd_gate)
 
     sp = sub.add_parser("oom", help="paper-scale out-of-memory report")
     sp.add_argument("--n", type=int, default=512)

@@ -82,3 +82,103 @@ def test_missing_target_yields_empty_geomeans(sweep_results):
     doc = bench_document(only_baselines)
     assert doc["geomeans"] == []
     assert validate_bench_document(doc) == []
+
+
+# -- malformed-document property suite --------------------------------------
+
+# Each corruption takes a fresh valid document and breaks it one way; the
+# validator must return a diagnostic mentioning the right location — never
+# raise (a KeyError from the validator would mask the real problem in CI).
+_CORRUPTIONS = {
+    "drop-schema": lambda d: d.pop("schema"),
+    "wrong-schema": lambda d: d.update(schema="repro/bench-spmm/v999"),
+    "schema-not-string": lambda d: d.update(schema=7),
+    "drop-run": lambda d: d.pop("run"),
+    "run-not-object": lambda d: d.update(run=[1, 2]),
+    "run-missing-tool": lambda d: d["run"].pop("tool"),
+    "run-empty-kernels": lambda d: d["run"].update(kernels=[]),
+    "drop-cells": lambda d: d.pop("cells"),
+    "cells-empty": lambda d: d.update(cells=[]),
+    "cells-not-list": lambda d: d.update(cells={"kernel": "x"}),
+    "cell-not-object": lambda d: d["cells"].__setitem__(0, "cell"),
+    "cell-missing-kernel": lambda d: d["cells"][0].pop("kernel"),
+    "cell-missing-time": lambda d: d["cells"][0].pop("time_ms"),
+    "cell-wrong-key-type": lambda d: d["cells"][0].update(n="128"),
+    "cell-bool-n": lambda d: d["cells"][0].update(n=True),
+    "cell-nan-time": lambda d: d["cells"][0].update(time_ms=float("nan")),
+    "cell-inf-time": lambda d: d["cells"][0].update(time_ms=float("inf")),
+    "cell-negative-time": lambda d: d["cells"][0].update(time_ms=-1.0),
+    "cell-nan-gflops": lambda d: d["cells"][0].update(gflops=float("nan")),
+    "cell-duplicate": lambda d: d["cells"].append(dict(d["cells"][0])),
+    "drop-geomeans": lambda d: d.pop("geomeans"),
+    "geomeans-not-list": lambda d: d.update(geomeans="none"),
+    "geomean-missing-speedup": lambda d: d["geomeans"][0].pop("speedup"),
+    "geomean-inf-speedup": lambda d: d["geomeans"][0].update(speedup=float("inf")),
+    "geomean-negative-speedup": lambda d: d["geomeans"][0].update(speedup=-2.0),
+}
+
+
+@pytest.mark.parametrize("corruption", sorted(_CORRUPTIONS))
+def test_validator_rejects_each_corruption(sweep_results, corruption):
+    import copy
+
+    doc = copy.deepcopy(bench_document(sweep_results))
+    _CORRUPTIONS[corruption](doc)
+    errors = validate_bench_document(doc)  # must not raise
+    assert errors, f"{corruption}: corruption not detected"
+    assert all(isinstance(e, str) and e for e in errors)
+
+
+def test_validator_random_corruption_storm(sweep_results):
+    """Property-style sweep: stack 1-3 random corruptions per trial; the
+    validator must flag every combination without raising."""
+    import copy
+    import numpy as np
+
+    names = sorted(_CORRUPTIONS)
+    rng = np.random.default_rng(20260807)
+    for _ in range(60):
+        doc = copy.deepcopy(bench_document(sweep_results))
+        picks = rng.choice(len(names), size=int(rng.integers(1, 4)), replace=False)
+        applied = []
+        for p in picks:
+            try:
+                _CORRUPTIONS[names[p]](doc)
+                applied.append(names[p])
+            except (KeyError, IndexError, AttributeError, TypeError):
+                # an earlier corruption already removed this target;
+                # the document is corrupt either way
+                pass
+        errors = validate_bench_document(doc)
+        assert errors, f"stacked corruption {applied} not detected"
+
+
+def test_validator_rejects_non_finite_with_clear_message(sweep_results):
+    import copy
+
+    doc = copy.deepcopy(bench_document(sweep_results))
+    doc["cells"][0]["time_ms"] = float("nan")
+    errors = validate_bench_document(doc)
+    assert any("cells[0].time_ms" in e and "non-finite" in e for e in errors)
+
+
+# -- determinism (the property the regression gate rests on) ---------------
+
+
+def test_sweep_document_byte_deterministic():
+    """Two fully independent in-process telemetry sweeps must serialize
+    byte-identically: this is the invariant that lets `make gate` treat
+    any BENCH_spmm.json diff as a real model change."""
+
+    def one_sweep():
+        graphs = {
+            "det-a": uniform_random(m=500, nnz=4000, seed=31),
+            "det-b": uniform_random(m=350, nnz=5250, seed=32),
+        }
+        kernels = [SimpleSpMM(), CusparseCsrmm2(), GESpMM()]
+        results = run_sweep(kernels, graphs, [32, 128], [GTX_1080TI, RTX_2080])
+        return bench_document(results, extra_run_meta={"command": "sweep"})
+
+    first = json.dumps(one_sweep(), indent=2, sort_keys=True)
+    second = json.dumps(one_sweep(), indent=2, sort_keys=True)
+    assert first == second

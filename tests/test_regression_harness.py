@@ -1,0 +1,129 @@
+"""The flat perf-regression harness (`repro.bench.regression`).
+
+Covers ``capture``, baseline save/load round-trips, ``compare``
+tolerance edges, the infinite-drift sentinels for appeared/disappeared
+keys, and the document interop that feeds the gate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import bench_document, run_sweep
+from repro.bench.regression import (
+    RegressionEntry,
+    capture,
+    compare,
+    document_measurements,
+    load_baseline,
+    measurement_key,
+    save_baseline,
+)
+from repro.core import CRCSpMM, GESpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI, RTX_2080
+from repro.sparse import uniform_random
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "rand-a": uniform_random(m=200, nnz=1600, seed=11),
+        "rand-b": uniform_random(m=150, nnz=1800, seed=12),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(graphs):
+    return capture([SimpleSpMM(), CRCSpMM()], graphs, [32, 64], [GTX_1080TI, RTX_2080])
+
+
+def test_capture_covers_cross_product(measurements, graphs):
+    assert len(measurements) == 2 * len(graphs) * 2 * 2
+    key = measurement_key("simple", "rand-a", 32, GTX_1080TI.name)
+    assert key in measurements
+    assert all(v > 0 for v in measurements.values())
+
+
+def test_capture_is_deterministic(measurements, graphs):
+    again = capture([SimpleSpMM(), CRCSpMM()], graphs, [32, 64],
+                    [GTX_1080TI, RTX_2080])
+    assert again == measurements
+
+
+def test_save_load_round_trip(tmp_path, measurements):
+    path = tmp_path / "baseline.json"
+    save_baseline(measurements, path)
+    assert load_baseline(path) == measurements
+    # idempotent writes: the file is byte-stable (diffable in git)
+    before = path.read_bytes()
+    save_baseline(measurements, path)
+    assert path.read_bytes() == before
+
+
+@pytest.mark.parametrize("payload", ["[1, 2]", '{"k": "not-a-number"}', '"flat"'])
+def test_load_baseline_rejects_malformed(tmp_path, payload):
+    path = tmp_path / "bad.json"
+    path.write_text(payload)
+    with pytest.raises(ValueError, match="malformed baseline"):
+        load_baseline(path)
+
+
+def test_compare_tolerance_edges():
+    base = {"k": 1.0}
+    # exactly at the tolerance boundary: not a drift (strict >).
+    # 0.25 is binary-exact, so the ratio arithmetic is too.
+    assert compare(base, {"k": 1.25}, tolerance=0.25) == []
+    assert compare(base, {"k": 0.75}, tolerance=0.25) == []
+    # just beyond, either direction: flagged
+    assert len(compare(base, {"k": 1.2500001}, tolerance=0.25)) == 1
+    faster = compare(base, {"k": 0.5}, tolerance=0.25)
+    assert len(faster) == 1 and faster[0].drift == pytest.approx(-0.5)
+
+
+def test_compare_unchanged_is_clean(measurements):
+    assert compare(measurements, dict(measurements)) == []
+
+
+def test_disappeared_key_is_infinite_drift():
+    entries = compare({"gone": 1.0, "kept": 1.0}, {"kept": 1.0})
+    assert len(entries) == 1
+    e = entries[0]
+    assert e.key == "gone" and e.current_s == 0.0
+    assert e.drift == float("-inf")
+    assert "gone" in e.describe()
+
+
+def test_appeared_key_is_infinite_drift():
+    entries = compare({"kept": 1.0}, {"kept": 1.0, "new": 2.0})
+    assert len(entries) == 1
+    e = entries[0]
+    assert e.key == "new" and e.baseline_s == 0.0
+    assert e.drift == float("inf")
+
+
+def test_zero_baseline_entry_never_divides():
+    assert RegressionEntry("k", 0.0, 1.0).drift == float("inf")
+    assert RegressionEntry("k", 1.0, 0.0).drift == float("-inf")
+    # a zero baseline inside compare is skipped, not crashed on
+    assert compare({"k": 0.0}, {"k": 5.0}) == []
+
+
+def test_document_measurements_matches_capture(graphs):
+    """A BENCH document collapses to the same keys/seconds capture emits."""
+    kernels = [SimpleSpMM(), GESpMM()]
+    results = run_sweep(kernels, graphs, [64], [GTX_1080TI])
+    doc = bench_document(results)
+    flat = document_measurements(doc)
+    captured = capture(kernels, graphs, [64], [GTX_1080TI])
+    assert set(flat) == set(captured)
+    for key, seconds in flat.items():
+        assert seconds == pytest.approx(captured[key], rel=1e-12)
+    # round-trips through JSON (the on-disk form the gate reads)
+    assert document_measurements(json.loads(json.dumps(doc))) == flat
+
+
+def test_document_measurements_rejects_non_document():
+    with pytest.raises(ValueError, match="cells"):
+        document_measurements({"schema": "nope"})

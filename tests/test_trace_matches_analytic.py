@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import CRCSpMM, CWMSpMM, SimpleSpMM
+from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
 from repro.gpusim import GTX_1080TI, RTX_2080
 from repro.semiring import MAX_TIMES, PLUS_TIMES
 from repro.sparse import reference_spmm_like, uniform_random
@@ -22,6 +22,9 @@ KERNELS = {
     "crc": CRCSpMM,
     "cwm2": lambda: CWMSpMM(2),
     "cwm3": lambda: CWMSpMM(3),
+    # adaptive front-end: the sampled widths cross the CRC/CWM dispatch
+    # threshold, so both paths get trace parity asserted through it
+    "gespmm": GESpMM,
 }
 
 
