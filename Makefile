@@ -15,16 +15,18 @@ examples:
 	@for s in examples/*.py; do echo "== $$s"; python $$s || exit 1; done
 
 # Regenerate the machine-readable perf trajectory (see docs/OBSERVABILITY.md).
-# Deterministic: rerunning on an unchanged tree reproduces the file exactly.
+# Deterministic: rerunning on an unchanged tree reproduces the file exactly
+# for any JOBS value (see docs/PERFORMANCE.md).
+JOBS ?= 4
 telemetry:
-	PYTHONPATH=src python -m repro.cli sweep --graphs 6 --n 128 512 --bench-json BENCH_spmm.json
+	PYTHONPATH=src python -m repro.cli sweep --graphs 6 --n 128 512 --jobs $(JOBS) --bench-json BENCH_spmm.json
 
 # Benchmark regression gate: regenerate the telemetry sweep in-process
 # and diff it against the committed BENCH_spmm.json.  Exits 1 on any
 # cell/geomean drift without an entry in BENCH_accepted_drift.json;
 # see docs/OBSERVABILITY.md for the workflow.
 gate:
-	PYTHONPATH=src python -m repro.cli gate --baseline BENCH_spmm.json --graphs 6 --n 128 512
+	PYTHONPATH=src python -m repro.cli gate --baseline BENCH_spmm.json --graphs 6 --n 128 512 --jobs $(JOBS)
 
 # The two artifact files DESIGN/EXPERIMENTS reference.
 artifacts:

@@ -8,8 +8,12 @@ prints rows directly comparable to the paper's artifact.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -22,7 +26,11 @@ from repro.sparse.ops import flops_of_spmm
 __all__ = [
     "geomean",
     "KernelResult",
+    "SweepHostStats",
     "run_sweep",
+    "run_sweep_with_stats",
+    "clear_sweep_cache",
+    "csr_fingerprint",
     "speedup_series",
     "format_table",
     "format_series",
@@ -31,8 +39,24 @@ __all__ = [
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (the paper's aggregate for per-matrix speedups)."""
+    """Geometric mean (the paper's aggregate for per-matrix speedups).
+
+    Non-positive values cannot enter a geometric mean and are dropped —
+    but never silently: each drop bumps the ``bench.geomean.dropped``
+    counter and emits a ``geomean.dropped_nonpositive`` event, so a
+    pathological sweep (a zero/negative speedup) is visible in telemetry
+    instead of silently skewing the gate's geomean comparison.
+    """
+    values = list(values)
     vals = [v for v in values if v > 0]
+    dropped = len(values) - len(vals)
+    if dropped:
+        obs.get_registry().counter("bench.geomean.dropped").inc(dropped)
+        obs.event(
+            "geomean.dropped_nonpositive",
+            dropped=dropped,
+            kept=len(vals),
+        )
     if not vals:
         return float("nan")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
@@ -50,6 +74,198 @@ class KernelResult:
     gflops: float
 
 
+@dataclass(frozen=True)
+class SweepHostStats:
+    """Host-side (wall-clock) throughput of one ``run_sweep`` call —
+    tracking the simulator's own speed, not the simulated devices'."""
+
+    wall_s: float
+    cells: int
+    jobs: int
+    memo_hits: int
+    memo_misses: int
+
+    @property
+    def cells_per_s(self) -> float:
+        return self.cells / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def as_run_meta(self) -> Dict[str, object]:
+        """The ``run.host`` metadata block for ``BENCH_spmm.json`` (gate
+        ignores ``run``, so this wall-clock data never trips drift)."""
+        return {
+            "wall_s": self.wall_s,
+            "cells": self.cells,
+            "cells_per_s": self.cells_per_s,
+            "jobs": self.jobs,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+
+
+def csr_fingerprint(a: CSRMatrix) -> str:
+    """Content hash of a CSR matrix: the graph component of the sweep
+    memoization key.  Two structurally identical matrices (same shape,
+    structure, and values) share a fingerprint regardless of identity."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(a.shape).encode())
+    for arr in (a.rowptr, a.colind, a.values):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+#: (kernel.cache_key(), csr_fingerprint, n, gpu.name) -> (time_s, gflops)
+_SWEEP_CACHE: Dict[tuple, Tuple[float, float]] = {}
+_SWEEP_CACHE_LOCK = threading.Lock()
+
+
+def clear_sweep_cache() -> None:
+    """Drop all memoized sweep cells (for tests and long-lived hosts)."""
+    with _SWEEP_CACHE_LOCK:
+        _SWEEP_CACHE.clear()
+
+
+def _cell_values(
+    kernel: SpMMKernel,
+    graph: CSRMatrix,
+    n: int,
+    gpu: GPUSpec,
+    memo_key: Optional[tuple],
+) -> Tuple[float, float, bool]:
+    """(time_s, gflops, was_memo_hit) for one sweep cell."""
+    if memo_key is not None:
+        with _SWEEP_CACHE_LOCK:
+            hit = _SWEEP_CACHE.get(memo_key)
+        if hit is not None:
+            return hit[0], hit[1], True
+    t = kernel.estimate(graph, n, gpu)
+    gflops = t.gflops(flops_of_spmm(graph, n))
+    if memo_key is not None:
+        with _SWEEP_CACHE_LOCK:
+            _SWEEP_CACHE[memo_key] = (t.time_s, gflops)
+    return t.time_s, gflops, False
+
+
+def run_sweep_with_stats(
+    kernels: Sequence[SpMMKernel],
+    graphs: Dict[str, CSRMatrix],
+    widths: Sequence[int],
+    gpus: Sequence[GPUSpec],
+    progress: Optional[Callable[[str], None]] = None,
+    quiet: bool = True,
+    jobs: int = 1,
+    memoize: bool = True,
+) -> Tuple[List[KernelResult], SweepHostStats]:
+    """:func:`run_sweep` plus host-side throughput statistics.
+
+    ``jobs > 1`` fans the cell computations out over a thread pool.  The
+    result list is byte-identical to the serial one for any ``jobs``:
+    cells are indexed up front in serial order, computed in any order,
+    and re-assembled by index; each computation is a deterministic pure
+    function of ``(kernel config, graph, n, gpu)``.  The tracer is
+    detached during the parallel phase (``Tracer`` is not thread-safe)
+    and every span/gauge/event is then emitted serially in exactly the
+    serial order, from the computed values.
+
+    ``memoize`` consults a process-wide content-addressed cache keyed by
+    ``(kernel.cache_key(), csr_fingerprint(graph), n, gpu.name)`` — so
+    repeated cells (gate regeneration, repeated benchmark scripts) hit
+    memory instead of recomputing.  See ``docs/PERFORMANCE.md``.
+    """
+    t0 = time.perf_counter()
+    registry = obs.get_registry()
+    jobs = max(int(jobs), 1)
+
+    prints: Dict[str, str] = (
+        {gname: csr_fingerprint(graph) for gname, graph in graphs.items()}
+        if memoize
+        else {}
+    )
+
+    def memo_key(kernel: SpMMKernel, gname: str, n: int, gpu: GPUSpec):
+        if not memoize:
+            return None
+        return (kernel.cache_key(), prints[gname], int(n), gpu.name)
+
+    # Cell work-list in serial emission order.
+    cells = [
+        (gpu, gname, graph, n, kernel)
+        for gpu in gpus
+        for gname, graph in graphs.items()
+        for n in widths
+        for kernel in kernels
+    ]
+
+    values: List[Tuple[float, float, bool]] = [None] * len(cells)  # type: ignore[list-item]
+    if jobs > 1 and len(cells) > 1:
+        prev = obs.set_tracer(None)
+        try:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _cell_values, kernel, graph, n, gpu,
+                        memo_key(kernel, gname, n, gpu),
+                    )
+                    for gpu, gname, graph, n, kernel in cells
+                ]
+                for i, fut in enumerate(futures):
+                    values[i] = fut.result()
+        finally:
+            obs.set_tracer(prev)
+
+    out: List[KernelResult] = []
+    hits = misses = 0
+    i = 0
+    for gpu in gpus:
+        for gname, graph in graphs.items():
+            with obs.span("sweep.graph", graph=gname, gpu=gpu.name):
+                for n in widths:
+                    for kernel in kernels:
+                        with obs.span("sweep.cell", kernel=kernel.name, graph=gname,
+                                      n=int(n), gpu=gpu.name) as cell:
+                            if values[i] is None:
+                                values[i] = _cell_values(
+                                    kernel, graph, n, gpu,
+                                    memo_key(kernel, gname, n, gpu),
+                                )
+                            time_s, gflops, was_hit = values[i]
+                            i += 1
+                            obs.add_sim_time(time_s)
+                            if cell is not None:
+                                cell.attrs["time_ms"] = time_s * 1e3
+                                cell.attrs["gflops"] = gflops
+                        hits += was_hit
+                        misses += not was_hit
+                        labels = dict(kernel=kernel.name, graph=gname, n=int(n),
+                                      gpu=gpu.name)
+                        registry.gauge("sweep.cell.time_ms", **labels).set(time_s * 1e3)
+                        registry.gauge("sweep.cell.gflops", **labels).set(gflops)
+                        out.append(
+                            KernelResult(
+                                kernel=kernel.name,
+                                graph=gname,
+                                n=n,
+                                gpu=gpu.name,
+                                time_s=time_s,
+                                gflops=gflops,
+                            )
+                        )
+            obs.event("sweep.graph.done", graph=gname, gpu=gpu.name)
+            if progress:
+                progress(gname)
+            if not quiet:
+                print(f"[sweep] {gname} done on {gpu.name}", file=sys.stderr)
+    registry.counter("sweep.memo.hits").inc(hits)
+    registry.counter("sweep.memo.misses").inc(misses)
+    stats = SweepHostStats(
+        wall_s=time.perf_counter() - t0,
+        cells=len(cells),
+        jobs=jobs,
+        memo_hits=hits,
+        memo_misses=misses,
+    )
+    return out, stats
+
+
 def run_sweep(
     kernels: Sequence[SpMMKernel],
     graphs: Dict[str, CSRMatrix],
@@ -57,6 +273,8 @@ def run_sweep(
     gpus: Sequence[GPUSpec],
     progress: Optional[Callable[[str], None]] = None,
     quiet: bool = True,
+    jobs: int = 1,
+    memoize: bool = True,
 ) -> List[KernelResult]:
     """Estimate every kernel on every (graph, N, GPU) combination.
 
@@ -68,42 +286,17 @@ def run_sweep(
     callback when one is given; pass ``quiet=False`` to also narrate
     per-graph progress on stderr.  The default is silent, keeping
     benchmark scripts' stdout byte-identical.
+
+    ``jobs`` parallelizes the cell computations (deterministic result
+    order for any value) and ``memoize`` reuses previously computed cells
+    across calls; see :func:`run_sweep_with_stats` for details and for
+    host-side throughput reporting.
     """
-    registry = obs.get_registry()
-    out: List[KernelResult] = []
-    for gpu in gpus:
-        for gname, graph in graphs.items():
-            with obs.span("sweep.graph", graph=gname, gpu=gpu.name):
-                for n in widths:
-                    for kernel in kernels:
-                        with obs.span("sweep.cell", kernel=kernel.name, graph=gname,
-                                      n=int(n), gpu=gpu.name) as cell:
-                            t = kernel.estimate(graph, n, gpu)
-                            gflops = t.gflops(flops_of_spmm(graph, n))
-                            obs.add_sim_time(t.time_s)
-                            if cell is not None:
-                                cell.attrs["time_ms"] = t.time_s * 1e3
-                                cell.attrs["gflops"] = gflops
-                        labels = dict(kernel=kernel.name, graph=gname, n=int(n),
-                                      gpu=gpu.name)
-                        registry.gauge("sweep.cell.time_ms", **labels).set(t.time_s * 1e3)
-                        registry.gauge("sweep.cell.gflops", **labels).set(gflops)
-                        out.append(
-                            KernelResult(
-                                kernel=kernel.name,
-                                graph=gname,
-                                n=n,
-                                gpu=gpu.name,
-                                time_s=t.time_s,
-                                gflops=gflops,
-                            )
-                        )
-            obs.event("sweep.graph.done", graph=gname, gpu=gpu.name)
-            if progress:
-                progress(gname)
-            if not quiet:
-                print(f"[sweep] {gname} done on {gpu.name}", file=sys.stderr)
-    return out
+    results, _ = run_sweep_with_stats(
+        kernels, graphs, widths, gpus,
+        progress=progress, quiet=quiet, jobs=jobs, memoize=memoize,
+    )
+    return results
 
 
 def speedup_series(

@@ -6,10 +6,15 @@ so the performance trajectory of the repo becomes *diffable across
 commits*: run metadata, one cell per ``(kernel, graph, n, gpu)`` point,
 and the geomean speedups the paper headlines.
 
-The document is fully deterministic — simulated times are deterministic
-and no wall-clock timestamp is embedded — so regenerating it on an
-unchanged tree produces an identical file, and any diff is a real model
-or kernel change.
+The document is deterministic in everything the regression gate reads —
+simulated times are deterministic and no wall-clock timestamp is
+embedded — so regenerating it on an unchanged tree produces identical
+cells and geomeans, and any diff there is a real model or kernel change.
+The one deliberate exception is the optional ``run.host`` block
+(host wall-clock, cells/sec, worker count, memo hit/miss counts) written
+by ``repro-bench sweep``: it describes the machine that produced the
+file, varies run to run, and is ignored by ``repro.bench.gate`` — the
+gate diffs only cells and geomeans (see docs/PERFORMANCE.md).
 
 ``make telemetry`` regenerates the repo-root ``BENCH_spmm.json`` via
 ``repro-bench sweep --bench-json``.

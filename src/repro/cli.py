@@ -104,11 +104,18 @@ def cmd_profile(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.bench import run_sweep_with_stats
+
     names = catalog_names()[: args.graphs]
     suite = load_suite(max_nnz=args.max_nnz, names=names)
     gpu = _gpu_arg(args.gpu)
     kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
-    results = run_sweep(kernels, suite, args.n, [gpu])
+    results, host = run_sweep_with_stats(kernels, suite, args.n, [gpu],
+                                         jobs=args.jobs)
+    print(f"[sweep] {host.cells} cells in {host.wall_s:.3f}s "
+          f"({host.cells_per_s:.0f} cells/s, jobs={host.jobs}, "
+          f"memo {host.memo_hits} hit / {host.memo_misses} miss)",
+          file=sys.stderr)
     if args.bench_json:
         from repro.bench import write_bench_json
 
@@ -116,7 +123,11 @@ def cmd_sweep(args) -> int:
             write_bench_json(
                 results,
                 args.bench_json,
-                extra_run_meta={"command": "sweep", "max_nnz": args.max_nnz},
+                extra_run_meta={
+                    "command": "sweep",
+                    "max_nnz": args.max_nnz,
+                    "host": host.as_run_meta(),
+                },
             )
         except OSError as exc:
             print(f"repro-bench: cannot write {args.bench_json}: {exc}",
@@ -227,7 +238,8 @@ def _regenerate_document(args):
     suite = load_suite(max_nnz=args.max_nnz, names=names)
     gpu = _gpu_arg(args.gpu)
     kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
-    results = run_sweep(kernels, suite, args.n, [gpu])
+    results = run_sweep(kernels, suite, args.n, [gpu],
+                        jobs=getattr(args, "jobs", 1))
     return bench_document(
         results, extra_run_meta={"command": "sweep", "max_nnz": args.max_nnz}
     )
@@ -342,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--n", type=int, nargs="+", default=[128, 512])
     sp.add_argument("--bench-json", default=None, metavar="PATH",
                     help="write machine-readable sweep telemetry (BENCH_spmm.json)")
+    sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parallel sweep workers (results are byte-identical "
+                         "to serial for any N; see docs/PERFORMANCE.md)")
     add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_sweep)
 
@@ -403,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--n", type=int, nargs="+", default=[128, 512])
     sp.add_argument("--max-nnz", type=int, default=300_000)
     sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
+    sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parallel workers for in-process regeneration "
+                         "(deterministic for any N)")
     sp.set_defaults(fn=cmd_gate)
 
     sp = sub.add_parser("oom", help="paper-scale out-of-memory report")

@@ -4,6 +4,13 @@ This package stands in for the two physical GPUs of the paper's testbed.
 See DESIGN.md section 4 for the model definitions and calibration notes.
 """
 
+from repro.gpusim.batchtrace import (
+    BatchTraceMemory,
+    fold_spmm_rows,
+    l1_filtered_misses,
+    ragged_arange,
+    tile_shared_accounting,
+)
 from repro.gpusim.config import GPUSpec, GTX_1080TI, KNOWN_GPUS, RTX_2080
 from repro.gpusim.kernel import SpMMKernel
 from repro.gpusim.memory import (
@@ -11,6 +18,7 @@ from repro.gpusim.memory import (
     KernelStats,
     TraceMemory,
     bank_conflict_passes,
+    bank_conflict_passes_batch,
     segment_sectors,
     warp_sector_count,
 )
@@ -43,6 +51,12 @@ __all__ = [
     "warp_sector_count",
     "segment_sectors",
     "bank_conflict_passes",
+    "bank_conflict_passes_batch",
+    "BatchTraceMemory",
+    "fold_spmm_rows",
+    "l1_filtered_misses",
+    "ragged_arange",
+    "tile_shared_accounting",
     "DeviceOutOfMemory",
     "SpmmFootprint",
     "spmm_footprint",

@@ -68,7 +68,18 @@ class SpMMKernel(ABC):
         gpu: GPUSpec,
         semiring: Semiring = PLUS_TIMES,
     ) -> Tuple[np.ndarray, KernelStats]:
-        """Faithful warp-level execution (small inputs).  Optional."""
+        """Faithful warp-level execution (batched replay).  Optional."""
+        raise NotImplementedError(f"{self.name} has no trace-mode implementation")
+
+    def trace_loop(
+        self,
+        a: CSRMatrix,
+        b: np.ndarray,
+        gpu: GPUSpec,
+        semiring: Semiring = PLUS_TIMES,
+    ) -> Tuple[np.ndarray, KernelStats]:
+        """Reference per-warp loop replay, the parity oracle for
+        :meth:`trace` (see ``docs/PERFORMANCE.md``).  Optional."""
         raise NotImplementedError(f"{self.name} has no trace-mode implementation")
 
     # -- timing ----------------------------------------------------------
@@ -102,6 +113,22 @@ class SpMMKernel(ABC):
         return timing
 
     # -- misc ------------------------------------------------------------
+    def cache_key(self) -> tuple:
+        """Hashable description of this kernel's configuration, stable
+        across instances with equal config — the kernel component of the
+        sweep memoization key (``docs/PERFORMANCE.md``).  Covers the
+        class plus every public primitive attribute; kernels holding
+        non-primitive config (e.g. an epilogue object) should extend it.
+        """
+        attrs = tuple(
+            sorted(
+                (k, v)
+                for k, v in vars(self).items()
+                if not k.startswith("_") and isinstance(v, (bool, int, float, str))
+            )
+        )
+        return (type(self).__qualname__, self.name, attrs)
+
     def check_semiring(self, semiring: Semiring) -> None:
         if not self.supports_general_semiring and not semiring.is_standard:
             raise NotImplementedError(

@@ -37,6 +37,7 @@ __all__ = [
     "warp_sector_count",
     "segment_sectors",
     "bank_conflict_passes",
+    "bank_conflict_passes_batch",
 ]
 
 SECTOR = 32  # bytes
@@ -80,6 +81,46 @@ def bank_conflict_passes(word_addresses: np.ndarray) -> int:
     banks = distinct % 32
     _, counts = np.unique(banks, return_counts=True)
     return int(counts.max())
+
+
+def bank_conflict_passes_batch(
+    word_addresses: np.ndarray, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Vectorized :func:`bank_conflict_passes` for a whole warp batch.
+
+    ``word_addresses`` is ``(num_warps, lanes)``; ``mask`` (same shape,
+    optional) predicates lanes off per warp.  Returns an ``int64`` vector
+    of one pass count per warp, each entry equal to what the scalar
+    function returns for that warp's active lanes (0 for a fully-masked
+    warp).  Used by the batch trace-replay engine to account shared-memory
+    requests for every warp of a launch in one shot.
+    """
+    addrs = np.asarray(word_addresses, dtype=np.int64)
+    if addrs.ndim != 2:
+        raise ValueError(f"expected a (num_warps, lanes) matrix, got shape {addrs.shape}")
+    w, lanes = addrs.shape
+    if w == 0 or lanes == 0:
+        return np.zeros(w, dtype=np.int64)
+    if mask is None:
+        active = np.ones((w, lanes), dtype=bool)
+    else:
+        active = np.asarray(mask, dtype=bool)
+        if active.shape != addrs.shape:
+            raise ValueError("mask shape must match word_addresses")
+    # Sort each warp's addresses with inactive lanes pushed to the front
+    # as a sentinel, then keep one representative per distinct address.
+    sentinel = addrs.min() - 1 if active.any() else -1
+    a = np.where(active, addrs, sentinel)
+    a.sort(axis=1)
+    valid = a != sentinel
+    first = np.empty_like(valid)
+    first[:, 0] = True
+    first[:, 1:] = a[:, 1:] != a[:, :-1]
+    keep = valid & first
+    banks = a % 32
+    keys = (np.arange(w, dtype=np.int64)[:, None] * 32 + banks)[keep]
+    counts = np.bincount(keys, minlength=w * 32).reshape(w, 32)
+    return counts.max(axis=1).astype(np.int64)
 
 
 @dataclass

@@ -151,6 +151,20 @@ def test_grid_turing_spec(kernel_id):
                       FAST_WIDTHS[1], RTX_2080, seed=FAST_SEEDS[1])
 
 
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+@pytest.mark.parametrize("matrix_id", ("uniform-sparse", "uniform-dense"))
+@pytest.mark.parametrize("kernel_id", ("crc", "cwm2", "cwm3", "cwm4"))
+@pytest.mark.parametrize("n", SLOW_WIDTHS)
+def test_grid_crc_cwm_uniform(kernel_id, matrix_id, n, seed):
+    """CRC/CWM x uniform-matrix slice of the full grid, promoted from the
+    slow CI job into tier-1: the batched replay engine (repro.gpusim
+    .batchtrace) made warp-exact traces cheap enough to run every
+    shared-memory kernel variant at full width/seed coverage on every
+    push, not just in the nightly conformance job."""
+    check_spmm_kernel(SPMM_KERNELS[kernel_id], MATRICES[matrix_id], n,
+                      GTX_1080TI, seed)
+
+
 def test_grid_empty_rows_edge():
     """A matrix with guaranteed empty rows (m >> nnz) must stay in parity:
     empty rows issue no B loads yet still store the init value."""

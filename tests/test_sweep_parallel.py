@@ -1,0 +1,159 @@
+"""Parallel + memoized sweep execution: determinism and cache contracts.
+
+``run_sweep(jobs=N)`` must return *byte-identical* results for any N, and
+the content-addressed memo cache must be invisible in the output (same
+results on hit and miss) while being visible in telemetry.  These are
+the acceptance criteria of the batched-replay PR; see
+docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.bench import (
+    SweepHostStats,
+    bench_document,
+    clear_sweep_cache,
+    csr_fingerprint,
+    geomean,
+    run_sweep,
+    run_sweep_with_stats,
+)
+from repro.core import CRCSpMM, CWMSpMM, SimpleSpMM
+from repro.gpusim import GTX_1080TI, RTX_2080
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.sparse import uniform_random
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    prev = set_registry(fresh)
+    yield fresh
+    set_registry(prev)
+
+
+@pytest.fixture
+def sweep_args():
+    clear_sweep_cache()
+    graphs = {
+        "g1": uniform_random(200, 2000, seed=1),
+        "g2": uniform_random(300, 1500, seed=2),
+    }
+    kernels = [SimpleSpMM(), CRCSpMM(), CWMSpMM(2)]
+    yield kernels, graphs, [32, 64], [GTX_1080TI, RTX_2080]
+    clear_sweep_cache()
+
+
+class TestJobsDeterminism:
+    def test_any_jobs_value_is_byte_identical(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        baseline = run_sweep(kernels, graphs, widths, gpus, memoize=False)
+        for jobs in (2, 4, 7):
+            got = run_sweep(kernels, graphs, widths, gpus, jobs=jobs,
+                            memoize=False)
+            assert got == baseline, f"jobs={jobs} diverged from serial"
+
+    def test_result_order_is_serial_emission_order(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        results = run_sweep(kernels, graphs, widths, gpus, jobs=4)
+        expected = [
+            (k.name, gname, n, gpu.name)
+            for gpu in gpus
+            for gname in graphs
+            for n in widths
+            for k in kernels
+        ]
+        assert [(r.kernel, r.graph, r.n, r.gpu) for r in results] == expected
+
+
+class TestMemoization:
+    def test_second_pass_all_hits_same_results(self, sweep_args, registry):
+        kernels, graphs, widths, gpus = sweep_args
+        first, s1 = run_sweep_with_stats(kernels, graphs, widths, gpus)
+        assert s1.memo_hits == 0 and s1.memo_misses == s1.cells
+        # Fresh kernel instances: the cache key is config-addressed, not
+        # identity-addressed.
+        again, s2 = run_sweep_with_stats(
+            [SimpleSpMM(), CRCSpMM(), CWMSpMM(2)], graphs, widths, gpus
+        )
+        assert s2.memo_hits == s2.cells and s2.memo_misses == 0
+        assert again == first
+        assert registry.counter("sweep.memo.hits").value == s2.cells
+        assert registry.counter("sweep.memo.misses").value == s1.cells
+
+    def test_memoized_bench_document_identical(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        cold = bench_document(run_sweep(kernels, graphs, widths, gpus),
+                              target="crc")
+        warm = bench_document(run_sweep(kernels, graphs, widths, gpus),
+                              target="crc")
+        assert json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+
+    def test_different_config_misses(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        run_sweep(kernels, graphs, widths, gpus)
+        # CWM(4) differs from CWM(2) in a public attribute: distinct key.
+        _, stats = run_sweep_with_stats([CWMSpMM(4)], graphs, widths, gpus)
+        assert stats.memo_misses == stats.cells
+
+    def test_clear_sweep_cache(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        run_sweep(kernels, graphs, widths, gpus)
+        clear_sweep_cache()
+        _, stats = run_sweep_with_stats(kernels, graphs, widths, gpus)
+        assert stats.memo_hits == 0
+
+    def test_csr_fingerprint_content_addressed(self):
+        a = uniform_random(50, 200, seed=3)
+        b = uniform_random(50, 200, seed=3)  # same content, new identity
+        c = uniform_random(50, 200, seed=4)
+        assert csr_fingerprint(a) == csr_fingerprint(b)
+        assert csr_fingerprint(a) != csr_fingerprint(c)
+
+
+class TestHostStats:
+    def test_fields_and_run_meta(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        _, stats = run_sweep_with_stats(kernels, graphs, widths, gpus, jobs=2)
+        assert isinstance(stats, SweepHostStats)
+        assert stats.cells == len(kernels) * len(graphs) * 2 * len(gpus)
+        assert stats.jobs == 2
+        assert stats.wall_s > 0
+        assert stats.cells_per_s == pytest.approx(stats.cells / stats.wall_s)
+        meta = stats.as_run_meta()
+        assert meta["cells"] == stats.cells
+        assert meta["jobs"] == 2
+        assert set(meta) == {"wall_s", "cells", "cells_per_s", "jobs",
+                             "memo_hits", "memo_misses"}
+        json.dumps(meta)  # must be JSON-serializable for run.host
+
+
+class TestGeomeanObservability:
+    def test_drops_counted_and_evented(self, registry):
+        events = []
+        import repro.obs as obs
+        class _Spy:
+            def event(self, name, **attrs):
+                events.append((name, attrs))
+            def add_sim_time(self, s):
+                pass
+        prev = obs.set_tracer(_Spy())
+        try:
+            assert geomean([4.0, 0.0, -2.0, 4.0]) == pytest.approx(4.0)
+        finally:
+            obs.set_tracer(prev)
+        assert registry.counter("bench.geomean.dropped").value == 2
+        assert ("geomean.dropped_nonpositive", {"dropped": 2, "kept": 2}) in events
+
+    def test_no_drop_no_counter(self, registry):
+        geomean([1.0, 2.0])
+        assert registry.counter("bench.geomean.dropped").value == 0
+
+    def test_all_dropped_is_nan_but_counted(self, registry):
+        assert math.isnan(geomean([-1.0, 0.0]))
+        assert registry.counter("bench.geomean.dropped").value == 2
