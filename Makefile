@@ -1,6 +1,6 @@
 # Convenience targets for the GE-SpMM reproduction.
 
-.PHONY: install test bench examples artifacts telemetry gate clean
+.PHONY: install test bench microbench examples artifacts telemetry gate clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Host-executor microbenchmark: segmented-reduction engine vs. the
+# preserved scatter oracles (see docs/PERFORMANCE.md "Host executor").
+# Asserts the speedup floors and records timings under the gate-ignored
+# run.host.microbench block of BENCH_spmm.json.
+microbench:
+	PYTHONPATH=src python -m pytest benchmarks/bench_host_executor.py -q --durations=5 --override-ini "addopts=-q"
 
 examples:
 	@for s in examples/*.py; do echo "== $$s"; python $$s || exit 1; done

@@ -8,7 +8,6 @@ prints rows directly comparable to the paper's artifact.
 
 from __future__ import annotations
 
-import hashlib
 import math
 import sys
 import threading
@@ -105,12 +104,13 @@ class SweepHostStats:
 def csr_fingerprint(a: CSRMatrix) -> str:
     """Content hash of a CSR matrix: the graph component of the sweep
     memoization key.  Two structurally identical matrices (same shape,
-    structure, and values) share a fingerprint regardless of identity."""
-    h = hashlib.blake2b(digest_size=16)
-    h.update(repr(a.shape).encode())
-    for arr in (a.rowptr, a.colind, a.values):
-        h.update(arr.tobytes())
-    return h.hexdigest()
+    structure, and values) share a fingerprint regardless of identity.
+
+    Delegates to :meth:`CSRMatrix.fingerprint`, which caches the digest
+    on the (immutable) matrix; kept as a re-export for callers keyed on
+    the PR-3 sweep-memo API.
+    """
+    return a.fingerprint()
 
 
 #: (kernel.cache_key(), csr_fingerprint, n, gpu.name) -> (time_s, gflops)

@@ -130,13 +130,27 @@ def write_bench_json(
     baselines: Optional[Sequence[str]] = None,
     extra_run_meta: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Serialize sweep results to ``path`` and return the document."""
+    """Serialize sweep results to ``path`` and return the document.
+
+    The ``run.host.microbench`` block written by ``make microbench``
+    (:func:`repro.bench.hostbench.update_bench_json_host`) is carried
+    over from an existing document — a sweep rewrite describes the same
+    machine and must not silently drop the host-executor measurements.
+    """
     doc = bench_document(results, target=target, baselines=baselines,
                          extra_run_meta=extra_run_meta)
     errors = validate_bench_document(doc)
     if errors:  # defensive: a writer bug must not silently ship bad telemetry
         raise ValueError("invalid BENCH document: " + "; ".join(errors))
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    p = Path(path)
+    if p.exists() and isinstance(doc["run"].get("host"), dict):
+        try:
+            prev_host = json.loads(p.read_text()).get("run", {}).get("host", {})
+        except (OSError, json.JSONDecodeError):
+            prev_host = {}
+        if "microbench" in prev_host and "microbench" not in doc["run"]["host"]:
+            doc["run"]["host"]["microbench"] = prev_host["microbench"]
+    p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
 
 

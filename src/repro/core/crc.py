@@ -198,7 +198,7 @@ class CRCSpMM(SpMMKernel):
             task=nz_task,
             step=4 + 2 * (t // 32) + t,
         )
-        mem.store_contiguous("C", row_of_task * n + seg_of_task, seg_len_task)
+        mem.store_contiguous("C", row_of_task * n + seg_of_task, seg_len_task, task=tasks)
 
         acc = fold_spmm_rows(
             rowptr, a.colind, mem.buffer("values"), mem.buffer("B").reshape(-1, n),

@@ -215,7 +215,10 @@ class CWMSpMM(SpMMKernel):
         cs = ragged_arange(ac_task)
         store_col0 = ss_of_task[store_task] + 32 * cs
         mem.store_contiguous(
-            "C", row_of_task[store_task] * n + store_col0, np.minimum(32, n - store_col0)
+            "C",
+            row_of_task[store_task] * n + store_col0,
+            np.minimum(32, n - store_col0),
+            task=store_task,
         )
 
         acc = fold_spmm_rows(

@@ -173,7 +173,7 @@ class GESDDMM(SpMMKernel):
             task=y_task,
             step=y_base + 2 + np.repeat(t % 32, nseg) * nseg + y_seg,
         )
-        mem.store_contiguous("E", tile_ptr, tile_len)
+        mem.store_contiguous("E", tile_ptr, tile_len, task=tile_row)
 
         # Numerics: per-segment float64 dot products accumulated in
         # segment order — the exact operation sequence of the loop replay

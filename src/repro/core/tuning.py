@@ -122,7 +122,11 @@ class TunedSpMM(SpMMKernel):
         self._choice: Dict[tuple, SpMMKernel] = {}
 
     def _select(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> SpMMKernel:
-        key = (id(a), n, gpu.name)
+        # Content-addressed: id(a) keys went stale when the GC reused an
+        # id for a different matrix (same bug class as the old estimate
+        # cache); the fingerprint also lets equal-content matrices share
+        # one tuning run.
+        key = (a.fingerprint(), int(n), gpu.name)
         kernel = self._choice.get(key)
         obs.get_registry().counter(
             "tuning.tuned_spmm.lookups", cached=kernel is not None, gpu=gpu.name
@@ -133,13 +137,21 @@ class TunedSpMM(SpMMKernel):
             self._choice[key] = kernel
         return kernel
 
-    def run(self, a, b, semiring=None):
+    def cache_key(self) -> tuple:
+        # The candidate set changes which kernel a matrix dispatches to,
+        # so two TunedSpMM with different candidates must never share
+        # sweep/estimate memo entries.
+        return super().cache_key() + (("candidates", self.candidates),)
+
+    def run(self, a, b, semiring=None, gpu: Optional[GPUSpec] = None):
         from repro.semiring import PLUS_TIMES
 
         semiring = semiring or PLUS_TIMES
-        from repro.gpusim.config import GTX_1080TI
+        if gpu is None:
+            from repro.gpusim.config import GTX_1080TI
 
-        return self._select(a, b.shape[1], GTX_1080TI).run(a, b, semiring)
+            gpu = GTX_1080TI
+        return self._select(a, b.shape[1], gpu).run(a, b, semiring)
 
     def count(self, a, n, gpu):
         return self._select(a, n, gpu).count(a, n, gpu)

@@ -11,8 +11,11 @@ in PyTorch [that] represents an aggregation step on the graph".
 * **max** aggregation is the paper's flagship SpMM-like case
   (GraphSAGE-pool).  Forward takes the max-times semiring; empty rows
   produce 0 (the DGL convention) rather than the semiring identity.
-  Backward routes each output gradient to the nonzeros whose contribution
-  attained the maximum (ties share the subgradient).
+  Backward routes each output gradient to the *first* nonzero whose
+  contribution attained the maximum (PyTorch ``scatter_max`` semantics):
+  the closure keeps only an ``(M, N)`` int32 argmax, not the full
+  ``(nnz, N)`` contributions array.  The pre-engine tie-sharing scatter
+  path is preserved and used when the segment engine is disabled.
 
 Numeric execution is vectorized NumPy; the simulated kernel cost of both
 directions is charged to the device ledger by the caller-supplied
@@ -31,6 +34,7 @@ from repro.gnn.tensor import Tensor
 from repro.semiring import MAX_TIMES, PLUS_TIMES
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import reference_spmm_like
+from repro.sparse.segment import engine_enabled, segment_argmax, segment_reduce
 
 __all__ = ["GraphPair", "aggregate_sum", "aggregate_max"]
 
@@ -93,8 +97,44 @@ def aggregate_sum(
 def _max_forward(adj: CSRMatrix, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Max-times forward returning (output, per-nonzero contributions)."""
     out = reference_spmm_like(adj, x, MAX_TIMES)
-    contributions = adj.values[:, None] * x[adj.colind.astype(np.int64)]
+    contributions = adj.values[:, None] * x[adj.colind64()]
     return out, contributions
+
+
+def _scatter_aggregate_max(
+    g: GraphPair,
+    x: Tensor,
+    backward_cost: CostFn,
+    record: Callable[[str, float], None],
+    label: str,
+) -> Tensor:
+    """Pre-engine max aggregation: the backward closure retains the full
+    ``(nnz, N)`` contributions and *shares* gradient among tied maxima.
+    Kept as the scatter oracle for the argmax path."""
+    n = x.data.shape[1]
+    adj = g.adj
+    out, contributions = _max_forward(adj, x.data)
+    empty = adj.row_lengths() == 0
+    out_clean = out.copy()
+    out_clean[empty] = 0.0  # DGL convention: no neighbors -> zeros
+
+    rows = adj.coo_rows()
+    cols = adj.colind64()
+
+    def backward(grad: np.ndarray) -> None:
+        record(label, backward_cost(g.adj_t, n))
+        if not x.requires_grad:
+            return
+        # Route gradients to maximizing contributions (ties share).
+        is_max = contributions == out[rows]
+        dx = np.zeros_like(x.data)
+        scaled = grad[rows] * is_max * adj.values[:, None]
+        np.add.at(dx, cols, scaled)
+        x.accumulate_grad(dx)
+
+    return Tensor(
+        out_clean, x.requires_grad, [x], backward if x.requires_grad else None, name=label
+    )
 
 
 def aggregate_max(
@@ -109,25 +149,39 @@ def aggregate_max(
     n = x.data.shape[1]
     adj = g.adj
     record(label, forward_cost(adj, n))
-    out, contributions = _max_forward(adj, x.data)
-    lengths = adj.row_lengths()
-    empty = lengths == 0
-    out_clean = out.copy()
-    out_clean[empty] = 0.0  # DGL convention: no neighbors -> zeros
+    if not engine_enabled():
+        return _scatter_aggregate_max(g, x, backward_cost, record, label)
 
-    rows = np.repeat(np.arange(adj.nrows, dtype=np.int64), lengths)
-    cols = adj.colind.astype(np.int64)
+    # Gather then scale in place: one (nnz, N) buffer, not two.
+    contributions = x.data[adj.colind64()]
+    np.multiply(contributions, adj.values[:, None], out=contributions)
+    out = segment_reduce(
+        contributions, adj.rowptr, np.maximum, MAX_TIMES.init
+    ).astype(x.data.dtype, copy=False)
+    # (M, N) int32 winner indices are all the backward needs; the
+    # (nnz, N) contributions die here instead of living in the closure.
+    argmax = segment_argmax(adj, contributions, row_max=out)
+    del contributions
+    out_clean = out.copy()
+    out_clean[adj.row_lengths() == 0] = 0.0  # DGL convention
+
+    colind = adj.colind64()
+    k = x.data.shape[0]
 
     def backward(grad: np.ndarray) -> None:
         record(label, backward_cost(g.adj_t, n))
         if not x.requires_grad:
             return
-        # Route gradients to maximizing contributions (ties share).
-        is_max = contributions == out[rows]
-        dx = np.zeros_like(x.data)
-        scaled = grad[rows] * is_max * adj.values[:, None]
-        np.add.at(dx, cols, scaled)
-        x.accumulate_grad(dx)
+        # Winner-takes-all: the whole gradient goes to the first nonzero
+        # that attained the maximum.  Empty rows and NaN cells hold -1
+        # (no winner) and are masked out.
+        valid = argmax >= 0
+        idx = argmax[valid]
+        target_cols = np.nonzero(valid)[1]
+        weighted = (grad[valid] * adj.values[idx]).astype(np.float64)
+        flat = colind[idx] * np.int64(n) + target_cols
+        dx = np.bincount(flat, weights=weighted, minlength=k * n)
+        x.accumulate_grad(dx.reshape(k, n).astype(x.data.dtype))
 
     return Tensor(
         out_clean, x.requires_grad, [x], backward if x.requires_grad else None, name=label

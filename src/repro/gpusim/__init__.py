@@ -9,10 +9,12 @@ from repro.gpusim.batchtrace import (
     fold_spmm_rows,
     l1_filtered_misses,
     ragged_arange,
+    record_program,
     tile_shared_accounting,
 )
 from repro.gpusim.config import GPUSpec, GTX_1080TI, KNOWN_GPUS, RTX_2080
-from repro.gpusim.kernel import SpMMKernel
+from repro.gpusim.kernel import SpMMKernel, clear_estimate_memo
+from repro.gpusim.warptrace import warp_trace_events
 from repro.gpusim.memory import (
     AccessStats,
     KernelStats,
@@ -45,6 +47,9 @@ __all__ = [
     "RTX_2080",
     "KNOWN_GPUS",
     "SpMMKernel",
+    "clear_estimate_memo",
+    "record_program",
+    "warp_trace_events",
     "AccessStats",
     "KernelStats",
     "TraceMemory",

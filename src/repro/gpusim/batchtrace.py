@@ -44,7 +44,8 @@ result is bit-identical to the sequential per-warp accumulation (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,7 +57,37 @@ __all__ = [
     "l1_filtered_misses",
     "fold_spmm_rows",
     "tile_shared_accounting",
+    "record_program",
 ]
+
+#: Program-order record captured by :func:`record_program`:
+#: ``(buffer, kind, task[], step[], sectors[])`` with one array element
+#: per warp instruction.  Stores carry ``step = _STORE_STEP`` (they come
+#: last in every kernel's per-task program).
+ProgramRecord = Tuple[str, str, np.ndarray, np.ndarray, np.ndarray]
+
+_STORE_STEP = np.int64(2**62)
+
+_PROGRAM_SINK: Optional[List[ProgramRecord]] = None
+
+
+@contextmanager
+def record_program() -> Iterator[List[ProgramRecord]]:
+    """Capture every (task, step)-stamped access of all
+    :class:`BatchTraceMemory` instances created in the block.
+
+    Used by :mod:`repro.gpusim.warptrace` to rebuild per-warp
+    instruction timelines from a ``kernel.trace`` replay; accounting is
+    unchanged (the sink only observes).
+    """
+    global _PROGRAM_SINK
+    prev = _PROGRAM_SINK
+    sink: List[ProgramRecord] = []
+    _PROGRAM_SINK = sink
+    try:
+        yield sink
+    finally:
+        _PROGRAM_SINK = prev
 
 
 def ragged_arange(counts: np.ndarray) -> np.ndarray:
@@ -179,6 +210,10 @@ class BatchTraceMemory:
         gl.transactions += sectors_total
         gl.requested_bytes += int(length.sum()) * self._buffers[name].itemsize
         self.stats.traffic(name).sectors += sectors_total
+        if _PROGRAM_SINK is not None and task is not None:
+            t = np.array(np.broadcast_to(np.asarray(task, dtype=np.int64), start.shape))
+            s = np.array(np.broadcast_to(np.asarray(step, dtype=np.int64), start.shape))
+            _PROGRAM_SINK.append((name, "load", t, s, count.copy()))
         if self._l1:
             task = np.broadcast_to(np.asarray(task, dtype=np.int64), start.shape)
             step = np.broadcast_to(np.asarray(step, dtype=np.int64), start.shape)
@@ -186,9 +221,17 @@ class BatchTraceMemory:
         else:
             gl.l1_filtered_transactions += sectors_total
 
-    def store_contiguous(self, name: str, start: np.ndarray, length: np.ndarray) -> None:
+    def store_contiguous(
+        self,
+        name: str,
+        start: np.ndarray,
+        length: np.ndarray,
+        task: Optional[np.ndarray] = None,
+    ) -> None:
         """Account a block of contiguous warp store instructions (stores
-        do not enter the L1 stream, matching ``TraceMemory``)."""
+        do not enter the L1 stream, matching ``TraceMemory``).  ``task``
+        only feeds :func:`record_program` timelines — every kernel issues
+        its stores last, so they get a past-the-end step stamp."""
         start = np.asarray(start, dtype=np.int64)
         length = np.broadcast_to(np.asarray(length, dtype=np.int64), start.shape)
         if start.size == 0:
@@ -200,6 +243,10 @@ class BatchTraceMemory:
         gs.instructions += start.size
         gs.transactions += int(count.sum())
         gs.requested_bytes += int(length.sum()) * self._buffers[name].itemsize
+        if _PROGRAM_SINK is not None and task is not None:
+            t = np.array(np.broadcast_to(np.asarray(task, dtype=np.int64), start.shape))
+            s = np.full(start.shape, _STORE_STEP, dtype=np.int64)
+            _PROGRAM_SINK.append((name, "store", t, s, count.copy()))
 
     def add_shared(
         self,

@@ -10,14 +10,19 @@ A kernel model couples three views of the same algorithm:
                  :class:`repro.gpusim.memory.TraceMemory`; exact but slow,
                  used on small inputs by tests and profiling examples.
 
-``estimate`` ties ``count`` to the timing model.  Results are memoized on
-``(matrix id, N, gpu, semiring)`` because benchmark sweeps re-time the
-same kernel/matrix pair at several places (speedup numerators and
-denominators).
+``estimate`` ties ``count`` to the timing model.  Results are memoized in
+a process-wide content-addressed cache keyed on ``(kernel.cache_key(),
+CSRMatrix.fingerprint(), N, gpu, semiring, params)`` — the same scheme as
+the sweep memo (``docs/PERFORMANCE.md``) — because benchmark sweeps
+re-time the same kernel/matrix pair at several places and full-batch
+training re-evaluates the cost model every epoch.  Hits and misses
+surface as the ``kernel.estimate_memo.hits`` / ``.misses`` counters;
+:func:`clear_estimate_memo` resets the cache.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Dict, Optional, Tuple
 
@@ -31,9 +36,22 @@ from repro.gpusim.occupancy import LaunchConfig
 from repro.gpusim.timing import ExecHints, KernelTiming, TimingParams, estimate_time
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["SpMMKernel", "KernelCounts"]
+__all__ = ["SpMMKernel", "KernelCounts", "clear_estimate_memo"]
 
 KernelCounts = Tuple[KernelStats, LaunchConfig, ExecHints]
+
+#: (cache_key(), fingerprint, n, gpu.name, semiring.name, params) -> timing.
+#: Content-addressed and process-wide: equally configured kernel instances
+#: share entries, and GC id reuse can never alias two different matrices.
+_ESTIMATE_MEMO: Dict[tuple, KernelTiming] = {}
+#: estimates run inside run_sweep's thread pool, so guard the dict.
+_ESTIMATE_MEMO_LOCK = threading.Lock()
+
+
+def clear_estimate_memo() -> None:
+    """Reset the process-wide estimate memo (tests, long-lived hosts)."""
+    with _ESTIMATE_MEMO_LOCK:
+        _ESTIMATE_MEMO.clear()
 
 
 class SpMMKernel(ABC):
@@ -45,9 +63,6 @@ class SpMMKernel(ABC):
     supports_general_semiring: bool = True
     #: preprocessing the kernel requires before first use (CSR is free)
     requires_preprocess: bool = False
-
-    def __init__(self) -> None:
-        self._estimate_cache: Dict[tuple, KernelTiming] = {}
 
     # -- functional ----------------------------------------------------
     @abstractmethod
@@ -93,23 +108,33 @@ class SpMMKernel(ABC):
     ) -> KernelTiming:
         """Simulated kernel time for ``A (MxK) @ B (KxN)`` on ``gpu``."""
         self.check_semiring(semiring)
-        key = (id(a), a.nnz, a.shape, int(n), gpu.name, semiring.name, id(params))
-        cached = self._estimate_cache.get(key)
+        params = params or TimingParams()
+        key = (self.cache_key(), a.fingerprint(), int(n), gpu.name, semiring.name, params)
+        with _ESTIMATE_MEMO_LOCK:
+            cached = _ESTIMATE_MEMO.get(key)
+        registry = obs.get_registry()
         if cached is not None:
-            obs.get_registry().counter(
+            registry.counter(
+                "kernel.estimate_memo.hits", kernel=self.name, gpu=gpu.name
+            ).inc()
+            registry.counter(
                 "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=True
             ).inc()
             return cached
-        obs.get_registry().counter(
+        registry.counter(
+            "kernel.estimate_memo.misses", kernel=self.name, gpu=gpu.name
+        ).inc()
+        registry.counter(
             "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=False
         ).inc()
         with obs.span("kernel.estimate", kernel=self.name, n=int(n), gpu=gpu.name) as s:
             stats, launch, hints = self.count(a, int(n), gpu)
-            timing = estimate_time(stats, launch, gpu, hints, params or TimingParams())
+            timing = estimate_time(stats, launch, gpu, hints, params)
             if s is not None:
                 s.attrs["time_ms"] = timing.time_s * 1e3
                 s.attrs["bound_by"] = timing.bound_by
-        self._estimate_cache[key] = timing
+        with _ESTIMATE_MEMO_LOCK:
+            _ESTIMATE_MEMO[key] = timing
         return timing
 
     # -- misc ------------------------------------------------------------

@@ -39,6 +39,17 @@ from repro.sparse.ops import (
     reference_spmm_like,
     reference_spmv,
 )
+from repro.sparse.segment import (
+    engine_enabled,
+    scatter_oracle_segment_reduce,
+    scatter_oracle_spmm_like,
+    scatter_oracle_to_dense,
+    segment_argmax,
+    segment_reduce,
+    segment_spmm_like,
+    set_engine,
+    use_segment_engine,
+)
 
 __all__ = [
     "CSRMatrix",
@@ -58,6 +69,15 @@ __all__ = [
     "reference_spmm_like",
     "reference_spmv",
     "flops_of_spmm",
+    "segment_reduce",
+    "segment_spmm_like",
+    "segment_argmax",
+    "scatter_oracle_segment_reduce",
+    "scatter_oracle_spmm_like",
+    "scatter_oracle_to_dense",
+    "engine_enabled",
+    "set_engine",
+    "use_segment_engine",
     "SampledBatch",
     "neighbor_sample",
     "neighbor_sample_layers",

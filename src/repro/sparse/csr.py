@@ -15,8 +15,9 @@ assumes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +55,9 @@ class CSRMatrix:
         object.__setattr__(self, "rowptr", np.ascontiguousarray(self.rowptr, dtype=INDEX_DTYPE))
         object.__setattr__(self, "colind", np.ascontiguousarray(self.colind, dtype=INDEX_DTYPE))
         object.__setattr__(self, "values", np.ascontiguousarray(self.values, dtype=VALUE_DTYPE))
+        # Lazy derived-array cache (row lengths, COO rows, int64 colind,
+        # content fingerprint) — paid once per matrix, not per operation.
+        object.__setattr__(self, "_derived", {})
         self._validate()
 
     # ------------------------------------------------------------------
@@ -95,9 +99,58 @@ class CSRMatrix:
     def ncols(self) -> int:
         return self.shape[1]
 
+    def _cached(self, key: str, build: Callable[[], np.ndarray]) -> np.ndarray:
+        """Lazy derived-array cache.  Arrays are built once, marked
+        read-only (they are shared across callers), and re-served on every
+        later access; hits/misses surface as ``csr.derived_cache.*``."""
+        from repro import obs  # late: csr is the substrate everything imports
+
+        cache = self._derived
+        arr = cache.get(key)
+        if arr is not None:
+            obs.get_registry().counter("csr.derived_cache.hits", array=key).inc()
+            return arr
+        obs.get_registry().counter("csr.derived_cache.misses", array=key).inc()
+        arr = build()
+        arr.setflags(write=False)
+        cache[key] = arr
+        return arr
+
     def row_lengths(self) -> np.ndarray:
-        """``int64[M]`` number of stored elements per row (out-degrees)."""
-        return np.diff(self.rowptr.astype(np.int64))
+        """``int64[M]`` number of stored elements per row (out-degrees).
+        Cached and read-only; copy before mutating."""
+        return self._cached("row_lengths", lambda: np.diff(self.rowptr.astype(np.int64)))
+
+    def coo_rows(self) -> np.ndarray:
+        """``int64[nnz]`` row index of each stored element (cached,
+        read-only) — the expanded COO row array every scatter/gather path
+        used to rebuild with ``np.repeat`` per call."""
+        return self._cached(
+            "coo_rows",
+            lambda: np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths()),
+        )
+
+    def colind64(self) -> np.ndarray:
+        """``int64[nnz]`` column indices widened for fancy indexing
+        (cached, read-only)."""
+        return self._cached("colind64", lambda: self.colind.astype(np.int64))
+
+    def fingerprint(self) -> str:
+        """Content hash (BLAKE2b-128) over shape, structure, and values.
+
+        Two structurally identical matrices share a fingerprint regardless
+        of identity — the graph component of the sweep and kernel-estimate
+        memo keys (``docs/PERFORMANCE.md``).  Cached after first use.
+        """
+        cached = self._derived.get("fingerprint")
+        if cached is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(repr(self.shape).encode())
+            for arr in (self.rowptr, self.colind, self.values):
+                h.update(arr.tobytes())
+            cached = h.hexdigest()
+            self._derived["fingerprint"] = cached
+        return cached
 
     def row_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(colind, values)`` views for row ``i``."""
@@ -112,11 +165,19 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense ``float32[M, K]`` array (small inputs)."""
-        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
-        # Duplicate (row, col) entries accumulate, matching COO semantics.
-        np.add.at(out, (rows, self.colind.astype(np.int64)), self.values)
-        return out
+        from repro.sparse import segment  # late: segment imports this module
+
+        if segment.engine_enabled() and self.nnz:
+            flat = self.coo_rows() * np.int64(self.ncols) + self.colind64()
+            if bool(np.all(np.diff(flat) > 0)):
+                # Canonical pattern (sorted, duplicate-free): direct
+                # placement, exact and scatter-free.
+                out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+                out.ravel()[flat] = self.values
+                return out
+        # Duplicate or unsorted (row, col) entries accumulate in CSR
+        # order, matching COO semantics.
+        return segment.scatter_oracle_to_dense(self)
 
     def to_scipy(self):
         """Convert to :class:`scipy.sparse.csr_matrix` (oracle computations)."""
@@ -128,10 +189,7 @@ class CSRMatrix:
 
     def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(rows, cols, values)`` in row-major order."""
-        rows = np.repeat(
-            np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_lengths()
-        )
-        return rows, self.colind.copy(), self.values.copy()
+        return self.coo_rows().astype(INDEX_DTYPE), self.colind.copy(), self.values.copy()
 
     def transpose(self) -> "CSRMatrix":
         """Return :math:`A^T` as a new CSR matrix (used by autograd:
@@ -154,23 +212,34 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     # Graph-normalization helpers used by the GNN substrate
     # ------------------------------------------------------------------
+    def _row_sums64(self) -> np.ndarray:
+        """``float64[M]`` per-row value sums via the segment engine (or
+        the scatter oracle when the engine is disabled)."""
+        from repro.sparse import segment  # late: segment imports this module
+
+        reduce = (
+            segment.segment_reduce
+            if segment.engine_enabled()
+            else segment.scatter_oracle_segment_reduce
+        )
+        return reduce(self.values.astype(np.float64), self.rowptr, np.add, 0.0)
+
     def row_normalized(self) -> "CSRMatrix":
         """Divide each row by its sum (mean aggregation, GraphSAGE-GCN)."""
-        sums = np.zeros(self.nrows, dtype=np.float64)
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
-        np.add.at(sums, rows, self.values.astype(np.float64))
+        sums = self._row_sums64()
         scale = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums != 0)
-        return self.with_values(self.values * scale[rows].astype(VALUE_DTYPE))
+        return self.with_values(
+            self.values * scale[self.coo_rows()].astype(VALUE_DTYPE)
+        )
 
     def sym_normalized(self) -> "CSRMatrix":
         """Symmetric normalization ``D^{-1/2} A D^{-1/2}`` (GCN, Kipf & Welling)."""
         deg = np.zeros(max(self.nrows, self.ncols), dtype=np.float64)
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
-        np.add.at(deg, rows, self.values.astype(np.float64))
+        deg[: self.nrows] = self._row_sums64()
         inv_sqrt = np.divide(1.0, np.sqrt(deg), out=np.zeros_like(deg), where=deg > 0)
-        scaled = self.values * (inv_sqrt[rows] * inv_sqrt[self.colind.astype(np.int64)]).astype(
-            VALUE_DTYPE
-        )
+        scaled = self.values * (
+            inv_sqrt[self.coo_rows()] * inv_sqrt[self.colind64()]
+        ).astype(VALUE_DTYPE)
         return self.with_values(scaled)
 
     def add_self_loops(self, weight: float = 1.0) -> "CSRMatrix":

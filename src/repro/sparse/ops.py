@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.semiring import PLUS_TIMES, Semiring
+from repro.sparse import segment
 from repro.sparse.csr import CSRMatrix, VALUE_DTYPE
 
 __all__ = ["reference_spmm", "reference_spmm_like", "reference_spmv", "flops_of_spmm"]
@@ -36,37 +37,15 @@ def reference_spmm_like(
     """General SpMM-like oracle under an arbitrary semiring.
 
     Computes ``C[i, :] = reduce_k combine(A[i,k], B[k, :])`` with the
-    semiring's identity for empty rows, via a vectorized segmented
-    reduction over the gathered contributions.
+    semiring's identity for empty rows.  Executes through the
+    segmented-reduction engine (:mod:`repro.sparse.segment`) for the
+    builtin reductions; user-defined reductions — and every call while
+    the engine is disabled — take the preserved scatter-oracle path.
     """
     b = _check_dense(a, b)
-    m = a.nrows
-    n = b.shape[1]
-    out = np.full((m, n), semiring.init, dtype=VALUE_DTYPE)
-    if a.nnz == 0:
-        return semiring.finalize(out, a.row_lengths()).astype(VALUE_DTYPE)
-
-    contributions = semiring.combine(
-        a.values[:, None].astype(VALUE_DTYPE), b[a.colind.astype(np.int64)]
-    )
-    rows = np.repeat(np.arange(m, dtype=np.int64), a.row_lengths())
-    if semiring.reduce is np.add.reduce:
-        np.add.at(out, rows, contributions)
-        # Rows with no nonzeros keep init; for plus-like semirings that is
-        # already the additive identity folded into the accumulate above
-        # only for occupied rows, so reset empty rows explicitly.
-        empty = a.row_lengths() == 0
-        out[empty] = semiring.init
-    elif semiring.reduce is np.maximum.reduce:
-        np.maximum.at(out, rows, contributions)
-    elif semiring.reduce is np.minimum.reduce:
-        np.minimum.at(out, rows, contributions)
-    else:  # pragma: no cover - generic fallback for user semirings
-        for i in range(m):
-            lo, hi = int(a.rowptr[i]), int(a.rowptr[i + 1])
-            if hi > lo:
-                out[i] = semiring.reduce(contributions[lo:hi], axis=0)
-    return semiring.finalize(out, a.row_lengths()).astype(VALUE_DTYPE)
+    if segment.engine_enabled() and segment.reduce_ufunc(semiring) is not None:
+        return segment.segment_spmm_like(a, b, semiring)
+    return segment.scatter_oracle_spmm_like(a, b, semiring)
 
 
 def flops_of_spmm(a: CSRMatrix, n: int) -> int:

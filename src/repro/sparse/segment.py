@@ -1,0 +1,300 @@
+"""Segmented-reduction host execution engine.
+
+Yang et al.'s *Design Principles for Sparse Matrix Multiplication on the
+GPU* frames row-split SpMM as gather + segmented reduce; this module
+brings the same structure to the host executor: contributions are
+gathered once and reduced per CSR row with a single
+``ufunc.reduceat`` call instead of the order-of-magnitude slower
+``ufunc.at`` scatter loop.  Every numeric hot path —
+``reference_spmm_like``, ``CSRMatrix.to_dense`` /
+``row_normalized`` / ``sym_normalized``, and ``gnn.aggregate`` — routes
+through here by default; the original scatter implementations are
+preserved verbatim as ``scatter_oracle_*`` functions and enforced as
+parity oracles by ``tests/test_segment_engine.py``.
+
+The parity contract (see ``docs/PERFORMANCE.md``):
+
+* ``max`` / ``min`` reductions are **bit-identical** to the scatter
+  oracles on any input — the reduction is order-independent, so
+  ``np.maximum.reduceat`` and ``np.maximum.at`` agree float for float.
+* ``plus`` / ``mean`` reductions are bit-identical whenever the
+  accumulation is exact (integer-valued float32 operands, which the
+  parity suite locks in), and agree to tight ``allclose`` tolerances on
+  arbitrary floats.  ``np.add.reduceat`` does *not* reduce strictly
+  left-to-right (NumPy pairs segment tails), so a rounding-level
+  reassociation relative to the sequential scatter is unavoidable; all
+  existing kernel/oracle comparisons use ``allclose`` and are
+  insensitive to it.
+
+Empty rows never reach ``reduceat`` (whose semantics for empty segments
+are not a reduction): the output is pre-filled with the semiring
+identity and only non-empty rows are overwritten, so identities are
+exact by construction.
+
+``set_engine(False)`` / ``use_segment_engine(False)`` flip every routed
+call site back to the scatter oracles — used by the parity suite and by
+``benchmarks/bench_host_executor.py`` to measure the speedup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.semiring import Semiring
+from repro.sparse.csr import CSRMatrix, VALUE_DTYPE
+
+__all__ = [
+    "segment_reduce",
+    "segment_spmm_like",
+    "segment_argmax",
+    "scatter_oracle_segment_reduce",
+    "scatter_oracle_spmm_like",
+    "scatter_oracle_to_dense",
+    "reduce_ufunc",
+    "engine_enabled",
+    "set_engine",
+    "use_segment_engine",
+]
+
+_ENGINE_ENABLED = True
+
+
+def engine_enabled() -> bool:
+    """True when the segmented-reduction engine is the default executor."""
+    return _ENGINE_ENABLED
+
+
+def set_engine(enabled: bool) -> bool:
+    """Enable/disable the engine process-wide; returns the previous state."""
+    global _ENGINE_ENABLED
+    prev = _ENGINE_ENABLED
+    _ENGINE_ENABLED = bool(enabled)
+    return prev
+
+
+@contextmanager
+def use_segment_engine(enabled: bool = True) -> Iterator[None]:
+    """Scoped engine toggle (parity tests, microbenchmark baselines)."""
+    prev = set_engine(enabled)
+    try:
+        yield
+    finally:
+        set_engine(prev)
+
+
+#: semiring ``reduce`` callable -> the ufunc whose ``reduceat``/``at``
+#: implements it.  Semirings outside this map (user-defined reductions)
+#: fall back to the scatter oracle's generic per-row loop.
+_REDUCE_UFUNCS = {
+    np.add.reduce: np.add,
+    np.maximum.reduce: np.maximum,
+    np.minimum.reduce: np.minimum,
+}
+
+
+def reduce_ufunc(semiring: Semiring) -> Optional[np.ufunc]:
+    """The ufunc implementing ``semiring.reduce``, or None if unknown."""
+    return _REDUCE_UFUNCS.get(semiring.reduce)
+
+
+def segment_reduce(
+    contributions: np.ndarray,
+    rowptr: np.ndarray,
+    ufunc: np.ufunc,
+    init: float,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reduce ``contributions`` per CSR row with one ``ufunc.reduceat``.
+
+    ``contributions`` is ``(nnz, ...)`` in row-major CSR order; row ``i``
+    owns the slice ``rowptr[i]:rowptr[i+1]``.  Rows with no elements
+    yield ``init`` exactly: only the non-empty rows' segment starts are
+    passed to ``reduceat`` (consecutive non-empty starts then delimit
+    exactly one row each), and the pre-filled output is left untouched
+    elsewhere.
+    """
+    rowptr = np.asarray(rowptr, dtype=np.int64)
+    contributions = np.asarray(contributions)
+    m = rowptr.shape[0] - 1
+    if out is None:
+        out = np.full((m,) + contributions.shape[1:], init, dtype=contributions.dtype)
+    obs.get_registry().counter("segment.reduce_calls", op=ufunc.__name__).inc()
+    if m == 0 or contributions.shape[0] == 0:
+        return out
+    starts = rowptr[:-1]
+    nonempty = rowptr[1:] > starts
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(contributions, starts[nonempty], axis=0)
+    return out
+
+
+def scatter_oracle_segment_reduce(
+    contributions: np.ndarray,
+    rowptr: np.ndarray,
+    ufunc: np.ufunc,
+    init: float,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The pre-engine ``ufunc.at`` scatter path, preserved as the parity
+    oracle for :func:`segment_reduce`."""
+    rowptr = np.asarray(rowptr, dtype=np.int64)
+    contributions = np.asarray(contributions)
+    m = rowptr.shape[0] - 1
+    lengths = rowptr[1:] - rowptr[:-1]
+    if out is None:
+        out = np.full((m,) + contributions.shape[1:], init, dtype=contributions.dtype)
+    if m == 0 or contributions.shape[0] == 0:
+        return out
+    rows = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    ufunc.at(out, rows, contributions)
+    if ufunc is np.add and init != 0.0:
+        # add.at accumulated on top of init for occupied rows; restore the
+        # identity only where nothing was accumulated.
+        out[lengths == 0] = init
+    return out
+
+
+def _check_dense(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    b = np.ascontiguousarray(b, dtype=VALUE_DTYPE)
+    if b.ndim != 2 or b.shape[0] != a.ncols:
+        raise ValueError(f"dense operand shape {b.shape} incompatible with {a.shape}")
+    return b
+
+
+def segment_spmm_like(
+    a: CSRMatrix, b: np.ndarray, semiring: Semiring
+) -> np.ndarray:
+    """SpMM-like execution as gather + segmented reduce.
+
+    Requires a semiring whose ``reduce`` maps to a ufunc
+    (:func:`reduce_ufunc`); callers with user-defined reductions use
+    :func:`scatter_oracle_spmm_like`.
+    """
+    ufunc = reduce_ufunc(semiring)
+    if ufunc is None:
+        raise NotImplementedError(
+            f"semiring {semiring.name!r} has no reduceat-capable reduction; "
+            "use scatter_oracle_spmm_like"
+        )
+    b = _check_dense(a, b)
+    m = a.nrows
+    n = b.shape[1]
+    out = np.full((m, n), semiring.init, dtype=VALUE_DTYPE)
+    if a.nnz:
+        contributions = semiring.combine(a.values[:, None], b[a.colind64()])
+        segment_reduce(contributions, a.rowptr, ufunc, semiring.init, out=out)
+    return semiring.finalize(out, a.row_lengths()).astype(VALUE_DTYPE)
+
+
+def scatter_oracle_spmm_like(
+    a: CSRMatrix, b: np.ndarray, semiring: Semiring
+) -> np.ndarray:
+    """The pre-engine ``reference_spmm_like`` body (``ufunc.at`` scatter
+    with a generic per-row loop for unknown semirings), preserved as the
+    parity oracle and the fallback for user-defined reductions."""
+    b = _check_dense(a, b)
+    m = a.nrows
+    n = b.shape[1]
+    out = np.full((m, n), semiring.init, dtype=VALUE_DTYPE)
+    if a.nnz == 0:
+        return semiring.finalize(out, a.row_lengths()).astype(VALUE_DTYPE)
+
+    contributions = semiring.combine(
+        a.values[:, None].astype(VALUE_DTYPE), b[a.colind.astype(np.int64)]
+    )
+    rows = np.repeat(np.arange(m, dtype=np.int64), a.row_lengths())
+    if semiring.reduce is np.add.reduce:
+        np.add.at(out, rows, contributions)
+        # Rows with no nonzeros keep init; for plus-like semirings that is
+        # already the additive identity folded into the accumulate above
+        # only for occupied rows, so reset empty rows explicitly.
+        empty = a.row_lengths() == 0
+        out[empty] = semiring.init
+    elif semiring.reduce is np.maximum.reduce:
+        np.maximum.at(out, rows, contributions)
+    elif semiring.reduce is np.minimum.reduce:
+        np.minimum.at(out, rows, contributions)
+    else:  # generic fallback for user semirings
+        for i in range(m):
+            lo, hi = int(a.rowptr[i]), int(a.rowptr[i + 1])
+            if hi > lo:
+                out[i] = semiring.reduce(contributions[lo:hi], axis=0)
+    return semiring.finalize(out, a.row_lengths()).astype(VALUE_DTYPE)
+
+
+def scatter_oracle_to_dense(a: CSRMatrix) -> np.ndarray:
+    """The pre-engine ``CSRMatrix.to_dense`` scatter, preserved as the
+    parity oracle and the fallback for duplicate/unsorted patterns."""
+    out = np.zeros(a.shape, dtype=VALUE_DTYPE)
+    rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    # Duplicate (row, col) entries accumulate, matching COO semantics.
+    np.add.at(out, (rows, a.colind.astype(np.int64)), a.values)
+    return out
+
+
+def segment_argmax(
+    a: CSRMatrix,
+    contributions: np.ndarray,
+    row_max: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Index of the first maximizing nonzero per output cell.
+
+    Returns ``int32[M, N]`` of absolute positions into
+    ``a.values``/``a.colind``; empty rows hold ``-1``.  Ties resolve to
+    the lowest nonzero index (PyTorch ``scatter_max`` semantics).  Cells
+    whose maximum is NaN also hold ``-1`` (NaN compares unequal to
+    itself, so nothing ever matches) — the same no-gradient outcome the
+    scatter oracle's ``contributions == out`` mask produces.  Consumers
+    mask with ``argmax >= 0``.
+
+    Implementation: one equality pass against the broadcast row maxima,
+    then the *sparse* hit set (≈ one hit per output cell) is collapsed
+    to first-per-cell with ``np.unique`` — an order of magnitude cheaper
+    than a second dense ``(nnz, N)`` reduction, since ``np.nonzero``
+    returns hits in ascending nonzero order and ``unique``'s first
+    occurrence is therefore the lowest index.
+
+    This is what lets ``aggregate_max`` keep an ``(M, N)`` int32 in its
+    backward closure instead of the full ``(nnz, N)`` contributions.
+    """
+    m = a.nrows
+    n = contributions.shape[1] if contributions.ndim == 2 else 1
+    contributions = contributions.reshape(a.nnz, n)
+    if row_max is None:
+        row_max = segment_reduce(contributions, a.rowptr, np.maximum, -np.inf)
+    argmax = np.full((m, n), -1, dtype=np.int32)
+    if a.nnz == 0 or m == 0:
+        return argmax
+    rows = a.coo_rows()
+    hits = contributions == row_max.reshape(m, n)[rows]
+    hit_pos, hit_col = _sparse_nonzero(hits)
+    cell = rows[hit_pos] * np.int64(n) + hit_col
+    first_cell, first_idx = np.unique(cell, return_index=True)
+    argmax.ravel()[first_cell] = hit_pos[first_idx].astype(np.int32)
+    return argmax
+
+
+def _sparse_nonzero(hits: np.ndarray):
+    """``np.nonzero`` for a boolean matrix with ~one True per *row
+    segment* (the argmax hit mask): prefilter rows by viewing each
+    8-byte run of bools as one uint64, so the full-width scan only
+    touches the ≈``M/nnz`` fraction of rows that contain a hit.
+    Falls back to plain ``np.nonzero`` when the view doesn't apply.
+    Row-major result order (ascending row index) is preserved — the
+    first-occurrence semantics of the caller's ``np.unique`` depend
+    on it."""
+    n = hits.shape[1]
+    if not hits.flags.c_contiguous or n % 8 != 0:
+        return np.nonzero(hits)
+    words = hits.view(np.uint64)
+    if words.shape[1] == 1:
+        row_any = words.ravel() != 0
+    else:
+        row_any = np.bitwise_or.reduce(words, axis=1) != 0
+    cand = np.flatnonzero(row_any)
+    sub_pos, sub_col = np.nonzero(hits[cand])
+    return cand[sub_pos], sub_col
