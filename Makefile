@@ -41,5 +41,5 @@ artifacts:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf benchmarks/results .pytest_cache .benchmarks
+	rm -rf benchmarks/results .pytest_cache .benchmarks .bench-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

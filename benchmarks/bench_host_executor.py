@@ -10,7 +10,12 @@ vs. engine-on with interleaved reps:
 * max aggregation forward+backward, asserted **>= 3x** (the argmax
   backward replaces three ``(nnz, N)`` passes with one ``(M, N)``
   bincount),
-* full-batch GCN training wall-clock, asserted **>= 2x**.
+* full-batch GCN training wall-clock, asserted **>= 2x**,
+* the cold full-grid analytic ``count()`` pass, oracle array-expansion
+  counters vs. the cached AccessProfile closed forms, asserted **>= 3x**
+  even though the profile side pays the histogram build every rep,
+* a cold-then-warm disk-cached sweep, asserted to recompute **zero**
+  estimates on the warm run and reproduce every cell byte for byte.
 
 Results are written to ``benchmarks/results/`` and recorded in
 ``BENCH_spmm.json`` under ``run.host.microbench``, a block the
@@ -20,12 +25,18 @@ host timing noise can never fail ``make gate``.
 
 from pathlib import Path
 
-from repro.bench.hostbench import run_host_microbench, update_bench_json_host
+from repro.bench.hostbench import (
+    format_result_line,
+    run_host_microbench,
+    update_bench_json_host,
+)
 
 #: Asserted floors (see ISSUE/docs): generous margin below the typical
-#: measurements (~3.2-3.4x and ~2.5-2.8x) to absorb machine noise.
+#: measurements (~3.2-3.4x, ~2.5-2.8x, and >10x for the counting grid)
+#: to absorb machine noise.
 MIN_AGGREGATE_MAX_SPEEDUP = 3.0
 MIN_GCN_TRAIN_SPEEDUP = 2.0
+MIN_COUNT_GRID_SPEEDUP = 3.0
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_spmm.json"
 
@@ -33,13 +44,8 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_spmm.json"
 def _format(results) -> str:
     lines = []
     for name, r in results.items():
-        if not isinstance(r, dict) or "speedup" not in r:
-            lines.append(f"{name}: {r}")
-            continue
-        lines.append(
-            f"{name:15s} scatter {r['scatter_s'] * 1e3:8.2f} ms   "
-            f"segment {r['segment_s'] * 1e3:8.2f} ms   {r['speedup']:5.2f}x"
-        )
+        line = format_result_line(name, r)
+        lines.append(line if line else f"{name}: {r}")
     return "\n".join(lines)
 
 
@@ -50,6 +56,7 @@ def test_host_executor_microbench(benchmark, emit):
 
     agg = results["aggregate_max"]["speedup"]
     gcn = results["gcn_train"]["speedup"]
+    grid = results["count_grid"]["speedup"]
     assert agg >= MIN_AGGREGATE_MAX_SPEEDUP, (
         f"max-aggregation path speedup {agg:.2f}x below the "
         f"{MIN_AGGREGATE_MAX_SPEEDUP}x floor"
@@ -57,6 +64,17 @@ def test_host_executor_microbench(benchmark, emit):
     assert gcn >= MIN_GCN_TRAIN_SPEEDUP, (
         f"GCN training speedup {gcn:.2f}x below the {MIN_GCN_TRAIN_SPEEDUP}x floor"
     )
+    assert grid >= MIN_COUNT_GRID_SPEEDUP, (
+        f"profile counting speedup {grid:.2f}x below the "
+        f"{MIN_COUNT_GRID_SPEEDUP}x floor"
+    )
+    # Disk-cached sweep: the warm run must be a pure replay.
+    dc = results["disk_cache"]
+    assert dc["warm_memo_misses"] == 0, (
+        f"warm disk-cached sweep recomputed {dc['warm_memo_misses']} cells"
+    )
+    assert dc["byte_identical"], "warm disk-cached sweep diverged from cold run"
+    assert dc["disk_invalidations"] == 0
     # The raw reduction swaps must at least not regress.
     assert results["spmm_plus"]["speedup"] >= 0.9
     assert results["spmm_max"]["speedup"] >= 0.8

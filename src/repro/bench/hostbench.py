@@ -46,6 +46,9 @@ __all__ = [
     "bench_spmm_like",
     "bench_aggregate_max",
     "bench_gcn_training",
+    "bench_count_grid",
+    "bench_disk_cache_sweep",
+    "format_result_line",
     "run_host_microbench",
     "update_bench_json_host",
 ]
@@ -62,6 +65,9 @@ _RED_M, _RED_NNZ = 12_000, 600_000
 #: GCN training benchmark graph: aggregation-heavy but small enough that
 #: a full multi-epoch train fits in a few hundred milliseconds.
 _GCN_M, _GCN_NNZ, _GCN_FEATURES = 12_000, 160_000, 64
+#: Counting benchmark graph: large enough that the O(nnz) array
+#: expansions in the oracle counters dominate count() wall-clock.
+_GRID_M, _GRID_NNZ = 8_000, 300_000
 
 
 def best_of(fn: Callable[[], Any], reps: int = 5, warmup: int = 1) -> float:
@@ -199,6 +205,112 @@ def bench_gcn_training(
     return _toggle_times(step, reps)
 
 
+def bench_count_grid(reps: int = 3) -> Dict[str, Any]:
+    """Cold full-grid analytic ``count()`` pass: oracle array-expansion
+    counters vs. the :class:`~repro.core.access_profile.AccessProfile`
+    closed forms.
+
+    The grid spans four kernels x three widths (aligned 32 plus unaligned
+    250 and 7) x both GPU presets — the shape of one sweep's analytic
+    work for a single graph.  The profile is dropped before every profile
+    rep, so its side *includes* the one-off O(nnz) histogram build (a
+    cold sweep's true cost); reps are interleaved so machine noise hits
+    both sides equally.
+    """
+    from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
+    from repro.core._counting import use_oracle_counters
+    from repro.core.access_profile import clear_access_profile
+    from repro.gpusim import GTX_1080TI, RTX_2080
+
+    a = _bench_graph(_GRID_M, _GRID_NNZ)
+    kernels = [SimpleSpMM(), CRCSpMM(), CWMSpMM(2), GESpMM()]
+    widths = [32, 250, 7]
+    gpus = [GTX_1080TI, RTX_2080]
+
+    def grid():
+        for kern in kernels:
+            for n in widths:
+                for gpu in gpus:
+                    kern.count(a, n, gpu)
+
+    def oracle_pass():
+        with use_oracle_counters():
+            grid()
+
+    def profile_pass():
+        clear_access_profile(a)  # cold: pay the histogram build every rep
+        grid()
+
+    best = {"oracle": float("inf"), "profile": float("inf")}
+    oracle_pass()
+    profile_pass()
+    for _ in range(reps):
+        for name, fn in (("oracle", oracle_pass), ("profile", profile_pass)):
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    oracle_s, profile_s = best["oracle"], best["profile"]
+    return {
+        "grid": {"kernels": len(kernels), "widths": widths,
+                 "gpus": len(gpus), "m": _GRID_M, "nnz": _GRID_NNZ},
+        "oracle_s": oracle_s,
+        "profile_s": profile_s,
+        "speedup": oracle_s / profile_s if profile_s > 0 else float("inf"),
+    }
+
+
+def bench_disk_cache_sweep() -> Dict[str, Any]:
+    """Cold vs. disk-warm sweep through a throwaway :class:`DiskCache`.
+
+    Runs one small sweep cold, wipes the in-process memos (simulating a
+    fresh process), and re-runs it against the same cache directory.  The
+    warm run must recompute nothing (``memo_misses == 0``) and reproduce
+    every cell byte for byte — the same contract CI asserts on the real
+    ``BENCH_spmm.json`` regeneration.
+    """
+    import shutil
+    import tempfile
+
+    from repro.bench.diskcache import DiskCache, use_disk_cache
+    from repro.bench.runner import clear_sweep_cache, run_sweep_with_stats
+    from repro.core import CRCSpMM, GESpMM, SimpleSpMM
+    from repro.gpusim import GTX_1080TI
+    from repro.gpusim.kernel import clear_estimate_memo
+
+    kernels = [SimpleSpMM(), CRCSpMM(), GESpMM()]
+    graphs = {"pl": _bench_graph(4_000, 120_000)}
+    widths = [32, 250]
+    gpus = [GTX_1080TI]
+    root = tempfile.mkdtemp(prefix="repro-diskcache-bench-")
+    try:
+        cache = DiskCache(root)
+        with use_disk_cache(cache):
+            clear_sweep_cache()
+            clear_estimate_memo()
+            t0 = time.perf_counter()
+            cold, _ = run_sweep_with_stats(kernels, graphs, widths, gpus)
+            cold_s = time.perf_counter() - t0
+            clear_sweep_cache()
+            clear_estimate_memo()  # simulate a fresh process
+            t0 = time.perf_counter()
+            warm, host_warm = run_sweep_with_stats(kernels, graphs, widths, gpus)
+            warm_s = time.perf_counter() - t0
+        dump = lambda rs: json.dumps([r.__dict__ for r in rs], sort_keys=True)
+        return {
+            "cells": len(cold),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_memo_misses": host_warm.memo_misses,
+            "disk_hits": cache.counters()["hits"],
+            "disk_invalidations": cache.counters()["invalidations"],
+            "byte_identical": dump(warm) == dump(cold),
+        }
+    finally:
+        clear_sweep_cache()
+        clear_estimate_memo()
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def run_host_microbench(
     reps: int = 5, train_reps: int = 3, epochs: int = 3
 ) -> Dict[str, Any]:
@@ -211,6 +323,8 @@ def run_host_microbench(
         "spmm_max": bench_spmm_like(MAX_TIMES, reps=reps),
         "aggregate_max": bench_aggregate_max(),
         "gcn_train": bench_gcn_training(epochs=epochs, reps=train_reps),
+        "count_grid": bench_count_grid(),
+        "disk_cache": bench_disk_cache_sweep(),
     }
 
 
@@ -234,14 +348,31 @@ def update_bench_json_host(
     return doc
 
 
+def format_result_line(name: str, r: Dict[str, Any]) -> Optional[str]:
+    """One aligned ``slow xx ms  fast xx ms  N.NNx`` line for any A/B
+    microbench dict (``scatter_s``/``segment_s``, ``oracle_s``/
+    ``profile_s``, ...); None when ``r`` is not such a dict."""
+    if not isinstance(r, dict) or "speedup" not in r:
+        return None
+    sides = [k for k, v in r.items()
+             if k.endswith("_s") and isinstance(v, (int, float))]
+    if len(sides) != 2:
+        return None
+    slow, fast = sorted(sides, key=r.get, reverse=True)
+    return (f"{name:15s} {slow[:-2]:8s} {r[slow] * 1e3:8.2f} ms   "
+            f"{fast[:-2]:8s} {r[fast] * 1e3:8.2f} ms   {r['speedup']:5.2f}x")
+
+
 def main() -> int:  # pragma: no cover - convenience entry point
     results = run_host_microbench()
     for name, r in results.items():
-        if not isinstance(r, dict) or "speedup" not in r:
-            continue
-        print(f"{name:15s} scatter {r['scatter_s'] * 1e3:8.2f} ms   "
-              f"segment {r['segment_s'] * 1e3:8.2f} ms   "
-              f"{r['speedup']:.2f}x")
+        line = format_result_line(name, r)
+        if line:
+            print(line)
+    dc = results["disk_cache"]
+    print(f"disk_cache      cold {dc['cold_s'] * 1e3:8.2f} ms   "
+          f"warm {dc['warm_s'] * 1e3:8.2f} ms   "
+          f"misses {dc['warm_memo_misses']}  identical {dc['byte_identical']}")
     updated = update_bench_json_host(results)
     if updated is not None:
         print("recorded under run.host.microbench in BENCH_spmm.json")

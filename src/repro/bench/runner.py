@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.bench.diskcache import get_disk_cache
 from repro.gpusim.config import GPUSpec
 from repro.gpusim.kernel import SpMMKernel
 from repro.sparse.csr import CSRMatrix
@@ -131,17 +132,32 @@ def _cell_values(
     gpu: GPUSpec,
     memo_key: Optional[tuple],
 ) -> Tuple[float, float, bool]:
-    """(time_s, gflops, was_memo_hit) for one sweep cell."""
+    """(time_s, gflops, was_memo_hit) for one sweep cell.
+
+    Consults the in-process memo first, then — when a disk cache is
+    active (``--cache-dir`` / ``REPRO_CACHE_DIR``) — the cross-process
+    ``cell`` store under the same content-addressed key.  A disk hit
+    counts as a memo hit: the cell was served, not recomputed.
+    """
+    disk = get_disk_cache() if memo_key is not None else None
     if memo_key is not None:
         with _SWEEP_CACHE_LOCK:
             hit = _SWEEP_CACHE.get(memo_key)
         if hit is not None:
             return hit[0], hit[1], True
+        if disk is not None:
+            cell = disk.get_cell(memo_key)
+            if cell is not None:
+                with _SWEEP_CACHE_LOCK:
+                    _SWEEP_CACHE[memo_key] = cell
+                return cell[0], cell[1], True
     t = kernel.estimate(graph, n, gpu)
     gflops = t.gflops(flops_of_spmm(graph, n))
     if memo_key is not None:
         with _SWEEP_CACHE_LOCK:
             _SWEEP_CACHE[memo_key] = (t.time_s, gflops)
+        if disk is not None:
+            disk.put_cell(memo_key, t.time_s, gflops)
     return t.time_s, gflops, False
 
 

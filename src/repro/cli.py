@@ -103,6 +103,22 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _counter_value(name: str) -> int:
+    return int(obs.get_registry().counter(name).value)
+
+
+def _installed_disk_cache(cache_dir: Optional[str]):
+    """Install a DiskCache for ``--cache-dir`` (None = leave the
+    current/env activation alone).  Returns ``(restore, cache)`` where
+    ``restore()`` undoes the installation."""
+    from repro.bench.diskcache import DiskCache, get_disk_cache, set_disk_cache
+
+    if not cache_dir:
+        return (lambda: None), get_disk_cache()
+    prev = set_disk_cache(DiskCache(cache_dir))
+    return (lambda: set_disk_cache(prev)), get_disk_cache()
+
+
 def cmd_sweep(args) -> int:
     from repro.bench import run_sweep_with_stats
 
@@ -110,12 +126,31 @@ def cmd_sweep(args) -> int:
     suite = load_suite(max_nnz=args.max_nnz, names=names)
     gpu = _gpu_arg(args.gpu)
     kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
-    results, host = run_sweep_with_stats(kernels, suite, args.n, [gpu],
-                                         jobs=args.jobs)
+    restore, cache = _installed_disk_cache(args.cache_dir)
+    try:
+        profile0 = {k: _counter_value(f"access_profile.{k}") for k in ("hits", "misses")}
+        disk0 = cache.counters() if cache is not None else {}
+        results, host = run_sweep_with_stats(kernels, suite, args.n, [gpu],
+                                             jobs=args.jobs)
+        host_meta = host.as_run_meta()
+        host_meta["access_profile"] = {
+            k: _counter_value(f"access_profile.{k}") - profile0[k]
+            for k in ("hits", "misses")
+        }
+        if cache is not None:
+            disk1 = cache.counters()
+            host_meta["diskcache"] = {k: disk1[k] - disk0[k] for k in disk1}
+    finally:
+        restore()
     print(f"[sweep] {host.cells} cells in {host.wall_s:.3f}s "
           f"({host.cells_per_s:.0f} cells/s, jobs={host.jobs}, "
           f"memo {host.memo_hits} hit / {host.memo_misses} miss)",
           file=sys.stderr)
+    if cache is not None:
+        dc = host_meta["diskcache"]
+        print(f"[sweep] disk cache at {cache.root}: {dc['hits']} hit / "
+              f"{dc['misses']} miss / {dc['invalidations']} invalidated",
+              file=sys.stderr)
     if args.bench_json:
         from repro.bench import write_bench_json
 
@@ -126,7 +161,7 @@ def cmd_sweep(args) -> int:
                 extra_run_meta={
                     "command": "sweep",
                     "max_nnz": args.max_nnz,
-                    "host": host.as_run_meta(),
+                    "host": host_meta,
                 },
             )
         except OSError as exc:
@@ -286,7 +321,11 @@ def cmd_gate(args) -> int:
         if args.current is not None:
             current = load_bench_document(args.current)
         else:
-            current = _regenerate_document(args)
+            restore, _cache = _installed_disk_cache(getattr(args, "cache_dir", None))
+            try:
+                current = _regenerate_document(args)
+            finally:
+                restore()
         accept_path = args.accept
         if accept_path is None:
             default = Path(args.baseline).parent / "BENCH_accepted_drift.json"
@@ -308,6 +347,32 @@ def cmd_gate(args) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
     return report.exit_code
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the on-disk estimate/sweep cache."""
+    import os
+
+    from repro.bench.diskcache import CACHE_DIR_ENV, DiskCache
+
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        print(f"repro-bench cache: no cache directory (pass --cache-dir or "
+              f"set {CACHE_DIR_ENV})", file=sys.stderr)
+        return 2
+    cache = DiskCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root: {stats['root']}")
+    print(f"entries:    {stats['entries']} ({stats['bytes']} bytes)")
+    for kind, k in sorted(stats["kinds"].items()):
+        print(f"  {kind:8s} {k['entries']:6d} entries  {k['bytes']:10d} bytes")
+    if not stats["kinds"]:
+        print("  (empty)")
+    return 0
 
 
 def cmd_oom(args) -> int:
@@ -378,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="parallel sweep workers (results are byte-identical "
                          "to serial for any N; see docs/PERFORMANCE.md)")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="persist kernel estimates and sweep cells across "
+                         "processes in a content-addressed cache at DIR "
+                         "(also honours $REPRO_CACHE_DIR; safe to delete "
+                         "any time — see docs/PERFORMANCE.md)")
     add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_sweep)
 
@@ -442,7 +512,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--jobs", type=int, default=1, metavar="N",
                     help="parallel workers for in-process regeneration "
                          "(deterministic for any N)")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="disk cache for the in-process regeneration sweep "
+                         "(same semantics as `sweep --cache-dir`)")
     sp.set_defaults(fn=cmd_gate)
+
+    sp = sub.add_parser(
+        "cache",
+        help="inspect (stats) or clear the on-disk estimate/sweep cache",
+    )
+    sp.add_argument("action", choices=["stats", "clear"])
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache root (default: $REPRO_CACHE_DIR)")
+    sp.set_defaults(fn=cmd_cache)
 
     sp = sub.add_parser("oom", help="paper-scale out-of-memory report")
     sp.add_argument("--n", type=int, default=512)

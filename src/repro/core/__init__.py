@@ -1,6 +1,11 @@
 """The paper's primary contribution: GE-SpMM and its two techniques
 (Coalesced Row Caching and Coarse-grained Warp Merging)."""
 
+from repro.core.access_profile import (
+    AccessProfile,
+    access_profile,
+    clear_access_profile,
+)
 from repro.core.crc import CRCSpMM
 from repro.core.cwm import CWMSpMM
 from repro.core.gespmm import ADAPTIVE_THRESHOLD, DEFAULT_CF, GESpMM, gespmm, gespmm_like
@@ -18,6 +23,9 @@ from repro.core.fused import Epilogue, FusedGESpMM, RELU_EPILOGUE, bias_relu_epi
 from repro.core.tuning import TunedSpMM, TuneResult, oracle_gap, tune_cf
 
 __all__ = [
+    "AccessProfile",
+    "access_profile",
+    "clear_access_profile",
     "SimpleSpMM",
     "CRCSpMM",
     "CWMSpMM",

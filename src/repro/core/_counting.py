@@ -3,45 +3,94 @@
 All simulated kernels decompose the output into (row, column-segment)
 warp tasks: a warp owns one sparse row and a contiguous span of output
 columns (32 columns per warp, or ``32 * CF`` under Coarse-grained Warp
-Merging).  The helpers here compute, fully vectorized, the exact 32-byte
-sector counts for the access patterns those kernels share:
+Merging).  The helpers here compute the exact 32-byte sector counts for
+the access patterns those kernels share:
 
 * dense-matrix row-segment loads (``B[k, j0:j0+len]``),
 * output stores (``C[i, j0:j0+len]``),
 * coalesced 32-element sparse tile loads (CRC),
 * broadcast walks over a sparse row (Algorithm 1, SpMV-style kernels).
 
+By default every counter routes through the per-matrix
+:class:`~repro.core.access_profile.AccessProfile` — histogram closed
+forms computed once per matrix and shared across all kernels, widths,
+and GPUs.  The original array-expansion implementations are preserved
+verbatim below as ``*_oracle`` functions (the repo's scatter-oracle /
+trace-loop contract) and enforced as bit-exact parity oracles by
+``tests/test_access_profile.py``; ``set_profile_counters(False)`` /
+``use_oracle_counters()`` flip the public functions back onto them
+(parity tests, ``make microbench``).
+
 Counts are exact under the alignment established by ``TraceMemory``
 (buffers are 32 B aligned).  For dense segments this means: when
 ``N % 8 == 0`` every row of ``B`` starts on a sector boundary and the
 closed form ``ceil(len/8)`` per segment applies; otherwise the count
-depends on each nonzero's column and is computed per segment over the
-``colind`` array.  The trace-vs-analytic property tests exercise both
-paths.
+depends on each nonzero's column modulo 8.  The trace-vs-analytic
+property tests exercise both paths.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import List, Tuple
+from contextlib import contextmanager
+from typing import Iterator
 
 import numpy as np
 
+from repro.core.access_profile import (
+    ELEMS_PER_SECTOR,
+    AccessTotals,
+    dense_segments,
+    access_profile,
+)
 from repro.gpusim.memory import segment_sectors
 from repro.sparse.csr import CSRMatrix
 
 __all__ = [
     "dense_segments",
+    "AccessTotals",
+    "ELEMS_PER_SECTOR",
     "count_b_loads",
     "count_c_stores",
     "count_tile_loads",
     "broadcast_walk_sectors",
     "unique_b_columns",
+    "occupied_rows",
+    "count_b_loads_oracle",
+    "count_c_stores_oracle",
+    "count_tile_loads_oracle",
+    "broadcast_walk_sectors_oracle",
+    "unique_b_columns_oracle",
+    "occupied_rows_oracle",
     "warps_per_row",
+    "profile_counters_enabled",
+    "set_profile_counters",
+    "use_oracle_counters",
 ]
 
-ELEMS_PER_SECTOR = 8  # 32-byte sector / 4-byte element
+_PROFILE_ENABLED = True
+
+
+def profile_counters_enabled() -> bool:
+    """True when counters route through the cached AccessProfile."""
+    return _PROFILE_ENABLED
+
+
+def set_profile_counters(enabled: bool) -> bool:
+    """Toggle profile-backed counting process-wide; returns prior state."""
+    global _PROFILE_ENABLED
+    prev = _PROFILE_ENABLED
+    _PROFILE_ENABLED = bool(enabled)
+    return prev
+
+
+@contextmanager
+def use_oracle_counters() -> Iterator[None]:
+    """Scope in which the public counters run the ``*_oracle`` bodies."""
+    prev = set_profile_counters(False)
+    try:
+        yield
+    finally:
+        set_profile_counters(prev)
 
 
 def warps_per_row(n: int, cf: int = 1) -> int:
@@ -50,41 +99,86 @@ def warps_per_row(n: int, cf: int = 1) -> int:
     return (n + span - 1) // span
 
 
-def dense_segments(n: int) -> List[Tuple[int, int]]:
-    """The ``(start_column, length)`` of each 32-wide warp load segment
-    covering ``n`` columns.  Independent of CF: a CF-coarsened warp issues
-    CF of these segments itself, so the union over the row is identical.
-    """
-    return [(s, min(32, n - s)) for s in range(0, n, 32)]
-
-
-@dataclass(frozen=True)
-class AccessTotals:
-    """Totals of one access pattern over the whole kernel."""
-
-    instructions: int
-    sectors: int
-    requested_bytes: int
-
-
+# ----------------------------------------------------------------------
+# Public counters: profile-backed closed forms
+# ----------------------------------------------------------------------
 def count_b_loads(a: CSRMatrix, n: int) -> AccessTotals:
     """Dense-matrix loads: one 32-wide segment load per nonzero per
     segment of the row span.  Exact sector count."""
+    if not _PROFILE_ENABLED:
+        return count_b_loads_oracle(a, n)
+    return access_profile(a).b_loads(n)
+
+
+def count_c_stores(a: CSRMatrix, n: int) -> AccessTotals:
+    """Output stores: one segment store per (row, segment)."""
+    if not _PROFILE_ENABLED:
+        return count_c_stores_oracle(a, n)
+    return access_profile(a).c_stores(n)
+
+
+def count_tile_loads(a: CSRMatrix, tile: int = 32) -> AccessTotals:
+    """Coalesced tile loads of one sparse-side array (colind *or* values):
+    per row, ``ceil(L/tile)`` warp loads of up to ``tile`` consecutive
+    elements starting at ``rowptr[i] + t*tile``.
+
+    Returns totals **per column-segment warp** — multiply by the number
+    of warps sharing the row to get kernel totals.
+    """
+    if not _PROFILE_ENABLED or tile % ELEMS_PER_SECTOR != 0:
+        # Exotic tiles (not sector multiples) break the phase-histogram
+        # identity; no simulated kernel uses one, but stay exact anyway.
+        return count_tile_loads_oracle(a, tile)
+    return access_profile(a).tile_loads(tile)
+
+
+def broadcast_walk_sectors(a: CSRMatrix) -> int:
+    """Distinct sectors touched when a warp walks a sparse row one
+    element at a time (broadcast loads): the L1-filtered transaction
+    count of Algorithm 1's sparse loads, per column-segment warp and per
+    sparse array."""
+    if not _PROFILE_ENABLED:
+        return broadcast_walk_sectors_oracle(a)
+    return access_profile(a).broadcast_sectors()
+
+
+def unique_b_columns(a: CSRMatrix) -> int:
+    """Number of distinct dense-matrix rows the kernel touches (the
+    compulsory footprint of ``B``)."""
+    if not _PROFILE_ENABLED:
+        return unique_b_columns_oracle(a)
+    return access_profile(a).unique_b_columns
+
+
+def occupied_rows(a: CSRMatrix) -> int:
+    """Number of rows holding at least one stored element (SDDMM loads
+    one X row per occupied row)."""
+    if not _PROFILE_ENABLED:
+        return occupied_rows_oracle(a)
+    return access_profile(a).occupied_rows
+
+
+# ----------------------------------------------------------------------
+# Parity oracles: the original array-expansion implementations
+# ----------------------------------------------------------------------
+def count_b_loads_oracle(a: CSRMatrix, n: int) -> AccessTotals:
+    """Array-expansion reference for :func:`count_b_loads`: one
+    ``segment_sectors`` pass over all nonzeros per column segment."""
     segments = dense_segments(n)
     instructions = a.nnz * len(segments)
     requested = a.nnz * n * 4
     if n % ELEMS_PER_SECTOR == 0:
         sectors = a.nnz * sum((length + 7) // 8 for _, length in segments)
     else:
-        base = a.colind.astype(np.int64) * n
+        base = a.colind64() * np.int64(n)
         sectors = 0
         for start, length in segments:
             sectors += int(segment_sectors(base + start, np.int64(length)).sum())
     return AccessTotals(int(instructions), int(sectors), int(requested))
 
 
-def count_c_stores(a: CSRMatrix, n: int) -> AccessTotals:
-    """Output stores: one segment store per (row, segment)."""
+def count_c_stores_oracle(a: CSRMatrix, n: int) -> AccessTotals:
+    """Array-expansion reference for :func:`count_c_stores`."""
     m = a.nrows
     segments = dense_segments(n)
     instructions = m * len(segments)
@@ -99,14 +193,9 @@ def count_c_stores(a: CSRMatrix, n: int) -> AccessTotals:
     return AccessTotals(int(instructions), int(sectors), int(requested))
 
 
-def count_tile_loads(a: CSRMatrix, tile: int = 32) -> AccessTotals:
-    """Coalesced tile loads of one sparse-side array (colind *or* values):
-    per row, ``ceil(L/tile)`` warp loads of up to ``tile`` consecutive
-    elements starting at ``rowptr[i] + t*tile``.
-
-    Returns totals **per column-segment warp** — multiply by the number
-    of warps sharing the row to get kernel totals.
-    """
+def count_tile_loads_oracle(a: CSRMatrix, tile: int = 32) -> AccessTotals:
+    """Array-expansion reference for :func:`count_tile_loads`: one entry
+    per tile, valid for any ``tile >= 1``."""
     lengths = a.row_lengths()
     n_tiles = (lengths + tile - 1) // tile
     total_tiles = int(n_tiles.sum())
@@ -117,26 +206,27 @@ def count_tile_loads(a: CSRMatrix, tile: int = 32) -> AccessTotals:
     tile_idx = np.arange(total_tiles, dtype=np.int64) - np.repeat(
         np.cumsum(n_tiles) - n_tiles, n_tiles
     )
-    starts = a.rowptr[:-1].astype(np.int64)[row_of_tile] + tile_idx * tile
+    starts = a.rowptr64()[:-1][row_of_tile] + tile_idx * tile
     lens = np.minimum(tile, lengths[row_of_tile] - tile_idx * tile)
     sectors = int(segment_sectors(starts, lens).sum())
     requested = int(lens.sum()) * 4
     return AccessTotals(total_tiles, sectors, requested)
 
 
-def broadcast_walk_sectors(a: CSRMatrix) -> int:
-    """Distinct sectors touched when a warp walks a sparse row one
-    element at a time (broadcast loads): the L1-filtered transaction
-    count of Algorithm 1's sparse loads, per column-segment warp and per
-    sparse array."""
+def broadcast_walk_sectors_oracle(a: CSRMatrix) -> int:
+    """Array-expansion reference for :func:`broadcast_walk_sectors`."""
     lengths = a.row_lengths()
-    starts = a.rowptr[:-1].astype(np.int64)
+    starts = a.rowptr64()[:-1]
     return int(segment_sectors(starts, lengths).sum())
 
 
-def unique_b_columns(a: CSRMatrix) -> int:
-    """Number of distinct dense-matrix rows the kernel touches (the
-    compulsory footprint of ``B``)."""
+def unique_b_columns_oracle(a: CSRMatrix) -> int:
+    """Array-expansion reference for :func:`unique_b_columns`."""
     if a.nnz == 0:
         return 0
     return int(np.unique(a.colind).size)
+
+
+def occupied_rows_oracle(a: CSRMatrix) -> int:
+    """Array-expansion reference for :func:`occupied_rows`."""
+    return int((a.row_lengths() > 0).sum())

@@ -164,7 +164,7 @@ class CRCSpMM(SpMMKernel):
         mem.register("B", b.ravel())
         mem.register("C", np.full(m * n, semiring.init, dtype=np.float32))
 
-        rowptr = a.rowptr.astype(np.int64)
+        rowptr = a.rowptr64()
         lengths = rowptr[1:] - rowptr[:-1]
         tasks = np.arange(m * nseg, dtype=np.int64)
         row_of_task = tasks // nseg
@@ -190,7 +190,7 @@ class CRCSpMM(SpMMKernel):
         nz_task = np.repeat(tasks, len_of_task)
         t = ragged_arange(len_of_task)
         ptr = rowptr[row_of_task[nz_task]] + t
-        k = a.colind.astype(np.int64)[ptr]
+        k = a.colind64()[ptr]
         mem.load_contiguous(
             "B",
             k * n + seg_of_task[nz_task],

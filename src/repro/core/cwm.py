@@ -169,7 +169,7 @@ class CWMSpMM(SpMMKernel):
         mem.register("B", b.ravel())
         mem.register("C", np.full(m * n, semiring.init, dtype=np.float32))
 
-        rowptr = a.rowptr.astype(np.int64)
+        rowptr = a.rowptr64()
         lengths = rowptr[1:] - rowptr[:-1]
         tasks = np.arange(m * nss, dtype=np.int64)
         row_of_task = tasks // nss
@@ -195,7 +195,7 @@ class CWMSpMM(SpMMKernel):
         nz_task = np.repeat(tasks, len_of_task)
         t = ragged_arange(len_of_task)
         ptr = rowptr[row_of_task[nz_task]] + t
-        k = a.colind.astype(np.int64)[ptr]
+        k = a.colind64()[ptr]
         ac_nz = ac_task[nz_task]
         rep_task = np.repeat(nz_task, ac_nz)
         c = ragged_arange(ac_nz)

@@ -139,7 +139,7 @@ class GESDDMM(SpMMKernel):
         seg_start = np.array([s for s, _ in segs], dtype=np.int64)
         seg_len = np.array([length for _, length in segs], dtype=np.int64)
 
-        rowptr = mask.rowptr.astype(np.int64)
+        rowptr = mask.rowptr64()
         lengths = rowptr[1:] - rowptr[:-1]
         m = mask.nrows
 
@@ -161,7 +161,7 @@ class GESDDMM(SpMMKernel):
 
         nz_row = np.repeat(np.arange(m, dtype=np.int64), lengths)
         t = ragged_arange(lengths)
-        k = mask.colind.astype(np.int64)
+        k = mask.colind64()
         y_task = np.repeat(nz_row, nseg)
         y_seg = np.tile(np.arange(nseg, dtype=np.int64), int(mask.nnz))
         y_k = np.repeat(k, nseg)
@@ -254,7 +254,7 @@ class GESDDMM(SpMMKernel):
         sec_per_row = sum((length + 7) // 8 for _, length in segs)
 
         # X rows: loaded once per occupied row (reused across the row's run).
-        occupied = int((a.row_lengths() > 0).sum())
+        occupied = cnt.occupied_rows(a)
         stats.global_load.instructions += occupied * len(segs)
         stats.global_load.transactions += occupied * sec_per_row
         stats.global_load.requested_bytes += occupied * n * 4

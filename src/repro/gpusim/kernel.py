@@ -54,6 +54,14 @@ def clear_estimate_memo() -> None:
         _ESTIMATE_MEMO.clear()
 
 
+def _disk_cache():
+    """The active cross-process estimate cache, or None (the default).
+    Late import: ``repro.bench`` imports this module."""
+    from repro.bench.diskcache import get_disk_cache
+
+    return get_disk_cache()
+
+
 class SpMMKernel(ABC):
     """Abstract simulated SpMM / SpMM-like kernel."""
 
@@ -124,6 +132,16 @@ class SpMMKernel(ABC):
         registry.counter(
             "kernel.estimate_memo.misses", kernel=self.name, gpu=gpu.name
         ).inc()
+        disk = _disk_cache()
+        if disk is not None:
+            timing = disk.get_timing(key)
+            if timing is not None:
+                with _ESTIMATE_MEMO_LOCK:
+                    _ESTIMATE_MEMO[key] = timing
+                registry.counter(
+                    "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=True
+                ).inc()
+                return timing
         registry.counter(
             "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=False
         ).inc()
@@ -135,6 +153,8 @@ class SpMMKernel(ABC):
                 s.attrs["bound_by"] = timing.bound_by
         with _ESTIMATE_MEMO_LOCK:
             _ESTIMATE_MEMO[key] = timing
+        if disk is not None:
+            disk.put_timing(key, timing)
         return timing
 
     # -- misc ------------------------------------------------------------

@@ -119,7 +119,13 @@ class CSRMatrix:
     def row_lengths(self) -> np.ndarray:
         """``int64[M]`` number of stored elements per row (out-degrees).
         Cached and read-only; copy before mutating."""
-        return self._cached("row_lengths", lambda: np.diff(self.rowptr.astype(np.int64)))
+        return self._cached("row_lengths", lambda: np.diff(self.rowptr64()))
+
+    def rowptr64(self) -> np.ndarray:
+        """``int64[M+1]`` row pointers widened for address arithmetic
+        (cached, read-only) — counters and trace replays used to rebuild
+        this with ``rowptr.astype(int64)`` per call."""
+        return self._cached("rowptr64", lambda: self.rowptr.astype(np.int64))
 
     def coo_rows(self) -> np.ndarray:
         """``int64[nnz]`` row index of each stored element (cached,

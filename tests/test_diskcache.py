@@ -1,0 +1,277 @@
+"""Tests for repro.bench.diskcache: the cross-process estimate/cell cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import run_sweep_with_stats
+from repro.bench.diskcache import (
+    CACHE_DIR_ENV,
+    SCHEMA,
+    DiskCache,
+    get_disk_cache,
+    set_disk_cache,
+    timing_from_json,
+    timing_to_json,
+    use_disk_cache,
+)
+from repro.bench.runner import clear_sweep_cache
+from repro.core import CRCSpMM, GESpMM, SimpleSpMM
+from repro.gpusim.config import GTX_1080TI, RTX_2080
+from repro.gpusim.kernel import clear_estimate_memo
+from repro.sparse import power_law, uniform_random
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """No ambient disk cache, clean process memos, before and after."""
+    prev = set_disk_cache(None)
+    env = os.environ.pop(CACHE_DIR_ENV, None)
+    clear_sweep_cache()
+    clear_estimate_memo()
+    try:
+        yield
+    finally:
+        set_disk_cache(prev)
+        if env is not None:
+            os.environ[CACHE_DIR_ENV] = env
+        clear_sweep_cache()
+        clear_estimate_memo()
+
+
+def _timing(kernel=None, a=None, n=64, gpu=GTX_1080TI):
+    kernel = kernel or GESpMM()
+    a = a if a is not None else power_law(50, 400, seed=7)
+    return kernel.estimate(a, n, gpu), kernel, a
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def test_timing_json_roundtrip_exact():
+    t, _, _ = _timing()
+    back = timing_from_json(json.loads(json.dumps(timing_to_json(t))))
+    assert back == t  # dataclass equality: every field, bit for bit
+    assert back.time_s == t.time_s
+    assert back.stats.array_traffic == t.stats.array_traffic
+    assert back.occupancy == t.occupancy
+    assert back.breakdown == t.breakdown
+
+
+def test_timing_cache_roundtrip(tmp_path):
+    t, _, _ = _timing()
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 64, "gpu", "plus_times", None)
+    assert cache.get_timing(key) is None  # miss
+    cache.put_timing(key, t)
+    assert cache.get_timing(key) == t
+    assert cache.counters() == {"hits": 1, "misses": 1, "invalidations": 0}
+
+
+def test_cell_roundtrip(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 32, "gpu")
+    assert cache.get_cell(key) is None
+    cache.put_cell(key, 1.25e-4, 317.5)
+    assert cache.get_cell(key) == (1.25e-4, 317.5)
+
+
+# ----------------------------------------------------------------------
+# Invalidation
+# ----------------------------------------------------------------------
+
+
+def _sole_entry(root):
+    files = [f for f in root.rglob("*.json")]
+    assert len(files) == 1
+    return files[0]
+
+
+def test_corrupt_entry_invalidated(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 32, "gpu")
+    cache.put_cell(key, 1.0, 2.0)
+    path = _sole_entry(cache.root)
+    path.write_text("{ not json")
+    assert cache.get_cell(key) is None
+    assert cache.counters()["invalidations"] == 1
+    assert not path.exists()  # removed best-effort
+    assert cache.get_cell(key) is None  # now a clean miss
+    assert cache.counters()["misses"] == 1
+
+
+def test_schema_mismatch_invalidated(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 32, "gpu")
+    cache.put_cell(key, 1.0, 2.0)
+    path = _sole_entry(cache.root)
+    doc = json.loads(path.read_text())
+    doc["schema"] = "repro/diskcache/v0"
+    path.write_text(json.dumps(doc))
+    assert cache.get_cell(key) is None
+    assert cache.counters()["invalidations"] == 1
+
+
+def test_key_mismatch_invalidated(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 32, "gpu")
+    cache.put_cell(key, 1.0, 2.0)
+    path = _sole_entry(cache.root)
+    doc = json.loads(path.read_text())
+    doc["key"] = repr((SCHEMA, "cell", ("other", "fp", 32, "gpu")))
+    path.write_text(json.dumps(doc))
+    assert cache.get_cell(key) is None
+    assert cache.counters()["invalidations"] == 1
+
+
+def test_malformed_payload_invalidated(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 64, "gpu", "plus_times", None)
+    t, _, _ = _timing()
+    cache.put_timing(key, t)
+    path = _sole_entry(cache.root)
+    doc = json.loads(path.read_text())
+    del doc["payload"]["stats"]
+    path.write_text(json.dumps(doc))
+    assert cache.get_timing(key) is None
+    assert cache.counters()["invalidations"] == 1
+
+
+# ----------------------------------------------------------------------
+# Estimate integration
+# ----------------------------------------------------------------------
+
+
+def test_estimate_served_from_disk_across_simulated_processes(tmp_path):
+    a = power_law(60, 500, seed=11)
+    kern = CRCSpMM()
+    with use_disk_cache(DiskCache(tmp_path)) as cache:
+        t1 = kern.estimate(a, 96, RTX_2080)
+        assert cache.counters()["misses"] == 1  # cold lookup
+        clear_estimate_memo()  # simulate a fresh process
+        t2 = kern.estimate(a, 96, RTX_2080)
+        assert t2 == t1
+        assert cache.counters()["hits"] == 1
+        # Third call hits the refilled in-memory memo, not the disk.
+        kern.estimate(a, 96, RTX_2080)
+        assert cache.counters()["hits"] == 1
+
+
+def test_estimate_unaffected_without_cache():
+    a = uniform_random(30, 200, 30, seed=3)
+    t1 = SimpleSpMM().estimate(a, 32, GTX_1080TI)
+    clear_estimate_memo()
+    t2 = SimpleSpMM().estimate(a, 32, GTX_1080TI)
+    assert t1 == t2
+
+
+# ----------------------------------------------------------------------
+# Sweep integration: byte-identical warm documents
+# ----------------------------------------------------------------------
+
+
+def test_sweep_byte_identical_across_simulated_processes(tmp_path):
+    kernels = [SimpleSpMM(), GESpMM()]
+    graphs = {"pl": power_law(80, 700, seed=2)}
+    widths = [32, 250]
+    gpus = [GTX_1080TI]
+    with use_disk_cache(DiskCache(tmp_path)) as cache:
+        cold, host_cold = run_sweep_with_stats(kernels, graphs, widths, gpus)
+        clear_sweep_cache()
+        clear_estimate_memo()
+        warm, host_warm = run_sweep_with_stats(kernels, graphs, widths, gpus)
+    assert warm == cold
+    assert host_warm.memo_misses == 0  # zero recomputation
+    assert host_warm.memo_hits == len(cold)
+    c = cache.counters()
+    assert c["hits"] == len(cold) and c["invalidations"] == 0
+    # Serialized cells are byte-identical (floats round-trip via repr).
+    dump = lambda rs: json.dumps([r.__dict__ for r in rs], sort_keys=True)
+    assert dump(warm) == dump(cold)
+
+
+# ----------------------------------------------------------------------
+# Activation plumbing
+# ----------------------------------------------------------------------
+
+
+def test_env_var_activation(tmp_path, monkeypatch):
+    assert get_disk_cache() is None
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    cache = get_disk_cache()
+    assert cache is not None and str(cache.root) == str(tmp_path)
+    assert get_disk_cache() is cache  # memoized per root
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert get_disk_cache() is None
+
+
+def test_explicit_activation_wins_over_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+    mine = DiskCache(tmp_path / "mine")
+    with use_disk_cache(mine):
+        assert get_disk_cache() is mine
+    assert str(get_disk_cache().root) == str(tmp_path / "env")
+
+
+# ----------------------------------------------------------------------
+# Maintenance: stats / clear
+# ----------------------------------------------------------------------
+
+
+def test_stats_and_clear(tmp_path):
+    cache = DiskCache(tmp_path)
+    t, _, _ = _timing()
+    cache.put_timing(("k", "fp", 64, "g", "s", None), t)
+    cache.put_cell(("k", "fp", 64, "g"), 1.0, 2.0)
+    cache.put_cell(("k", "fp", 128, "g"), 3.0, 4.0)
+    s = cache.stats()
+    assert s["entries"] == 3
+    assert s["kinds"]["cell"]["entries"] == 2
+    assert s["kinds"]["timing"]["entries"] == 1
+    assert s["bytes"] > 0
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+    assert cache.clear() == 0  # idempotent, empty root fine
+
+
+def test_clear_missing_root(tmp_path):
+    cache = DiskCache(tmp_path / "never-created")
+    assert cache.clear() == 0
+    assert cache.stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# CLI: repro-bench cache / --cache-dir
+# ----------------------------------------------------------------------
+
+
+def test_cli_cache_stats_and_clear(tmp_path, capsys):
+    from repro.cli import main
+
+    cache = DiskCache(tmp_path)
+    cache.put_cell(("k", "fp", 64, "g"), 1.0, 2.0)
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "cell" in out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert cache.stats()["entries"] == 0
+
+
+def test_cli_cache_requires_dir(monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+    assert main(["cache", "stats"]) == 2
+
+
+def test_cli_cache_env_dir(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    DiskCache(tmp_path).put_cell(("k", "fp", 64, "g"), 1.0, 2.0)
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    assert main(["cache", "stats"]) == 0
+    assert str(tmp_path) in capsys.readouterr().out
