@@ -1,6 +1,6 @@
 # Convenience targets for the GE-SpMM reproduction.
 
-.PHONY: install test bench microbench examples artifacts telemetry gate clean
+.PHONY: install test bench microbench examples artifacts telemetry gate report clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -34,6 +34,12 @@ telemetry:
 # see docs/OBSERVABILITY.md for the workflow.
 gate:
 	PYTHONPATH=src python -m repro.cli gate --baseline BENCH_spmm.json --graphs 6 --n 128 512 --jobs $(JOBS)
+
+# Performance report from the committed BENCH document (see
+# docs/OBSERVABILITY.md "Reports & attribution").  Pure function of
+# BENCH_spmm.json, so repeated runs are byte-identical.
+report:
+	PYTHONPATH=src python -m repro.cli report --baseline BENCH_spmm.json --out report.md --json-out report.json
 
 # The two artifact files DESIGN/EXPERIMENTS reference.
 artifacts:

@@ -9,8 +9,9 @@ numbers.  :class:`DiskCache` persists them across processes under the
 * ``timing`` entries — full :class:`~repro.gpusim.timing.KernelTiming`
   payloads keyed ``(kernel.cache_key(), fingerprint, n, gpu.name,
   semiring.name, params)``;
-* ``cell`` entries — ``(time_s, gflops)`` sweep cells keyed
-  ``(kernel.cache_key(), fingerprint, n, gpu.name)``.
+* ``cell`` entries — ``(time_s, gflops, attribution)`` sweep cells keyed
+  ``(kernel.cache_key(), fingerprint, n, gpu.name)``; ``attribution`` is
+  the per-cell bottleneck block of ``BENCH_spmm.json`` (or None).
 
 Content addressing makes invalidation automatic for *inputs*: a new
 matrix, width, GPU spec, kernel configuration, or calibration constant
@@ -63,7 +64,9 @@ PathLike = Union[str, Path]
 #: Version tag baked into every entry digest *and* stored in the file.
 #: Bump on any change to payload semantics (new KernelTiming fields, a
 #: different cell tuple, ...) — old entries then miss cleanly.
-SCHEMA = "repro/diskcache/v1"
+#: v2: KernelTiming grew ``factors`` and sweep cells carry the
+#: bottleneck-attribution block next to (time_s, gflops).
+SCHEMA = "repro/diskcache/v2"
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -93,6 +96,7 @@ def timing_to_json(t: KernelTiming) -> Dict[str, Any]:
         "bound_by": t.bound_by,
         "gpu_name": t.gpu_name,
         "breakdown": dict(t.breakdown),
+        "factors": dict(t.factors),
         "stats": {
             "global_load": _access_to_json(st.global_load),
             "global_store": _access_to_json(st.global_store),
@@ -144,6 +148,7 @@ def timing_from_json(d: Dict[str, Any]) -> KernelTiming:
         breakdown={k: float(v) for k, v in d["breakdown"].items()},
         bound_by=str(d["bound_by"]),
         gpu_name=str(d["gpu_name"]),
+        factors={k: float(v) for k, v in d["factors"].items()},
     )
 
 
@@ -245,18 +250,29 @@ class DiskCache:
     def put_timing(self, key: tuple, timing: KernelTiming) -> None:
         self._put("timing", key, timing_to_json(timing))
 
-    def get_cell(self, key: tuple) -> Optional[Tuple[float, float]]:
+    def get_cell(
+        self, key: tuple
+    ) -> Optional[Tuple[float, float, Optional[Dict[str, Any]]]]:
         payload = self._get("cell", key)
         if payload is None:
             return None
         try:
-            return float(payload[0]), float(payload[1])
+            attribution = payload[2]
+            if attribution is not None and not isinstance(attribution, dict):
+                raise TypeError("attribution must be an object or null")
+            return float(payload[0]), float(payload[1]), attribution
         except (TypeError, ValueError, IndexError):
             self._invalidate(self._path("cell", key), "cell")
             return None
 
-    def put_cell(self, key: tuple, time_s: float, gflops: float) -> None:
-        self._put("cell", key, [time_s, gflops])
+    def put_cell(
+        self,
+        key: tuple,
+        time_s: float,
+        gflops: float,
+        attribution: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._put("cell", key, [time_s, gflops, attribution])
 
     # -- maintenance ----------------------------------------------------
     def _entry_files(self) -> Iterator[Path]:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -52,6 +52,7 @@ __all__ = [
     "load_accepted_drift",
     "geomean_key",
     "diff_documents",
+    "explain_attribution_drift",
     "gate_paths",
 ]
 
@@ -146,6 +147,7 @@ class Drift:
     drift: float  # relative change; +/-inf for appeared/removed
     status: str  # "regressed" | "accepted"
     reason: str = ""  # annotation reason when accepted
+    explanation: str = ""  # component attribution diff (gate --explain)
 
     def describe(self) -> str:
         if self.metric == "presence":
@@ -159,10 +161,12 @@ class Drift:
             )
         if self.reason:
             text += f" -- {self.reason}"
+        if self.explanation:
+            text += f"\n      explain: {self.explanation}"
         return text
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        out = {
             "key": self.key,
             "metric": self.metric,
             "baseline": self.baseline,
@@ -172,6 +176,9 @@ class Drift:
             "status": self.status,
             "reason": self.reason,
         }
+        if self.explanation:
+            out["explanation"] = self.explanation
+        return out
 
 
 @dataclass
@@ -309,6 +316,112 @@ def load_accepted_drift(path: PathLike) -> List[AcceptedDrift]:
 
 
 # ---------------------------------------------------------------------------
+# drift explanation (gate --explain)
+
+#: relative component change below which a mover is folded into the
+#: "all else" tail — 1% separates the drifted ceiling from float noise.
+EXPLAIN_MIN_REL = 0.01
+
+
+def _component_movers(
+    base: Dict[str, Any], cur: Dict[str, Any], threshold: float
+) -> Tuple[List[Tuple[str, float]], int]:
+    """Per-component relative drifts beyond ``threshold``, biggest first.
+
+    Returns ``(movers, quiet)`` where ``movers`` is ``[(name, rel), ...]``
+    sorted by descending magnitude (name as the deterministic tie-break)
+    and ``quiet`` counts the components that stayed within threshold.
+    """
+    movers: List[Tuple[str, float]] = []
+    quiet = 0
+    for name in sorted(set(base) | set(cur)):
+        b = float(base.get(name, 0.0))
+        c = float(cur.get(name, 0.0))
+        if b == c:
+            quiet += 1
+            continue
+        rel = (c / b - 1.0) if b > 0 else float("inf")
+        if abs(rel) > threshold:
+            movers.append((name, rel))
+        else:
+            quiet += 1
+    movers.sort(key=lambda m: (-abs(m[1]), m[0]))
+    return movers, quiet
+
+
+def _fmt_rel(rel: float) -> str:
+    if not math.isfinite(rel):
+        return "appeared"
+    return f"{'+' if rel >= 0 else ''}{rel * 100:.1f}%"
+
+
+def explain_attribution_drift(
+    baseline_cell: Dict[str, Any],
+    current_cell: Dict[str, Any],
+    threshold: float = EXPLAIN_MIN_REL,
+) -> str:
+    """Name the timing-model component(s) behind one cell's drift.
+
+    Diffs the per-cell ``attribution`` blocks (per-ceiling breakdown +
+    efficiency factors — see ``docs/OBSERVABILITY.md``) of a baseline and
+    a current cell and renders the movers, biggest first::
+
+        dram +31.2%, all else <1%
+        bound l2_link -> dram; dram +18.0%, f_occ -12.5%, all else <1%
+
+    Returns "" when either side lacks an attribution block (older
+    documents), so callers can append the explanation unconditionally.
+    """
+    base_attr = baseline_cell.get("attribution")
+    cur_attr = current_cell.get("attribution")
+    if not isinstance(base_attr, dict) or not isinstance(cur_attr, dict):
+        return ""
+    parts: List[str] = []
+    bound_b = base_attr.get("bound_by")
+    bound_c = cur_attr.get("bound_by")
+    if bound_b != bound_c:
+        parts.append(f"bound {bound_b} -> {bound_c}")
+    movers: List[Tuple[str, float]] = []
+    quiet = 0
+    for block in ("breakdown_ms", "factors"):
+        m, q = _component_movers(
+            base_attr.get(block) or {}, cur_attr.get(block) or {}, threshold
+        )
+        movers.extend(m)
+        quiet += q
+    movers.sort(key=lambda m: (-abs(m[1]), m[0]))
+    detail = ", ".join(f"{name} {_fmt_rel(rel)}" for name, rel in movers)
+    if movers and quiet:
+        detail += f", all else <{threshold * 100:g}%"
+    elif not movers:
+        detail = f"no attribution component moved >={threshold * 100:g}%"
+    parts.append(detail)
+    return "; ".join(p for p in parts if p)
+
+
+def _attach_explanations(
+    drifts: List[Drift],
+    baseline_cells: Dict[str, Dict[str, Any]],
+    current_cells: Dict[str, Dict[str, Any]],
+) -> List[Drift]:
+    """Return ``drifts`` with attribution explanations on cell drifts."""
+    out: List[Drift] = []
+    for d in drifts:
+        if (
+            d.metric in ("time_ms", "gflops")
+            and d.key in baseline_cells
+            and d.key in current_cells
+        ):
+            text = explain_attribution_drift(
+                baseline_cells[d.key], current_cells[d.key]
+            )
+            if text:
+                d = replace(d, explanation=text)
+        out.append(d)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # comparison
 
 
@@ -372,6 +485,7 @@ def diff_documents(
     current: Dict[str, Any],
     thresholds: GateThresholds = GateThresholds(),
     accepted: Sequence[AcceptedDrift] = (),
+    explain: bool = False,
 ) -> GateReport:
     """Compare two validated BENCH documents into a :class:`GateReport`.
 
@@ -379,16 +493,22 @@ def diff_documents(
     drift for shared cells, presence drift for added/removed ones; then
     the same for geomean records.  Drifts beyond tolerance are matched
     against ``accepted`` annotations in order (first match wins).
+
+    ``explain`` additionally diffs the per-cell ``attribution`` blocks of
+    drifted cells and names the ceiling/factor that moved (see
+    :func:`explain_attribution_drift`) — ``repro-bench gate --explain``.
     """
     for name, doc in (("baseline", baseline), ("current", current)):
         errors = validate_bench_document(doc)
         if errors:
             raise GateError(f"{name} document invalid: " + "; ".join(errors))
 
+    baseline_cells = {_cell_key(c): c for c in baseline["cells"]}
+    current_cells = {_cell_key(c): c for c in current["cells"]}
     drifts: List[Drift] = []
     cells_compared = _diff_keyed(
-        {_cell_key(c): c for c in baseline["cells"]},
-        {_cell_key(c): c for c in current["cells"]},
+        baseline_cells,
+        current_cells,
         ("time_ms", "gflops"),
         thresholds,
         accepted,
@@ -402,6 +522,8 @@ def diff_documents(
         accepted,
         drifts,
     )
+    if explain:
+        drifts = _attach_explanations(drifts, baseline_cells, current_cells)
 
     report = GateReport(
         thresholds=thresholds,
@@ -418,9 +540,11 @@ def gate_paths(
     current_path: PathLike,
     annotations_path: Optional[PathLike] = None,
     thresholds: GateThresholds = GateThresholds(),
+    explain: bool = False,
 ) -> GateReport:
     """File-level convenience wrapper around :func:`diff_documents`."""
     baseline = load_bench_document(baseline_path)
     current = load_bench_document(current_path)
     accepted = load_accepted_drift(annotations_path) if annotations_path else []
-    return diff_documents(baseline, current, thresholds=thresholds, accepted=accepted)
+    return diff_documents(baseline, current, thresholds=thresholds,
+                          accepted=accepted, explain=explain)

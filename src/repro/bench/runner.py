@@ -13,8 +13,8 @@ import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.bench.diskcache import get_disk_cache
@@ -64,7 +64,14 @@ def geomean(values: Iterable[float]) -> float:
 
 @dataclass(frozen=True)
 class KernelResult:
-    """One (kernel, graph, N, GPU) measurement."""
+    """One (kernel, graph, N, GPU) measurement.
+
+    ``attribution`` carries the bottleneck-attribution block of the
+    simulated launch (``KernelTiming.attribution()``: binding ceiling,
+    per-ceiling breakdown in ms, efficiency factors) — the "why" behind
+    ``time_s`` that ``BENCH_spmm.json`` cells and ``repro-bench report``
+    surface.  None only for results built by legacy callers.
+    """
 
     kernel: str
     graph: str
@@ -72,6 +79,7 @@ class KernelResult:
     gpu: str
     time_s: float
     gflops: float
+    attribution: Optional[Dict[str, Any]] = field(default=None, compare=True)
 
 
 @dataclass(frozen=True)
@@ -114,8 +122,9 @@ def csr_fingerprint(a: CSRMatrix) -> str:
     return a.fingerprint()
 
 
-#: (kernel.cache_key(), csr_fingerprint, n, gpu.name) -> (time_s, gflops)
-_SWEEP_CACHE: Dict[tuple, Tuple[float, float]] = {}
+#: (kernel.cache_key(), csr_fingerprint, n, gpu.name)
+#:   -> (time_s, gflops, attribution)
+_SWEEP_CACHE: Dict[tuple, Tuple[float, float, Optional[Dict[str, Any]]]] = {}
 _SWEEP_CACHE_LOCK = threading.Lock()
 
 
@@ -131,8 +140,8 @@ def _cell_values(
     n: int,
     gpu: GPUSpec,
     memo_key: Optional[tuple],
-) -> Tuple[float, float, bool]:
-    """(time_s, gflops, was_memo_hit) for one sweep cell.
+) -> Tuple[float, float, Optional[Dict[str, Any]], bool]:
+    """(time_s, gflops, attribution, was_memo_hit) for one sweep cell.
 
     Consults the in-process memo first, then — when a disk cache is
     active (``--cache-dir`` / ``REPRO_CACHE_DIR``) — the cross-process
@@ -144,21 +153,22 @@ def _cell_values(
         with _SWEEP_CACHE_LOCK:
             hit = _SWEEP_CACHE.get(memo_key)
         if hit is not None:
-            return hit[0], hit[1], True
+            return hit[0], hit[1], hit[2], True
         if disk is not None:
             cell = disk.get_cell(memo_key)
             if cell is not None:
                 with _SWEEP_CACHE_LOCK:
                     _SWEEP_CACHE[memo_key] = cell
-                return cell[0], cell[1], True
+                return cell[0], cell[1], cell[2], True
     t = kernel.estimate(graph, n, gpu)
     gflops = t.gflops(flops_of_spmm(graph, n))
+    attribution = t.attribution()
     if memo_key is not None:
         with _SWEEP_CACHE_LOCK:
-            _SWEEP_CACHE[memo_key] = (t.time_s, gflops)
+            _SWEEP_CACHE[memo_key] = (t.time_s, gflops, attribution)
         if disk is not None:
-            disk.put_cell(memo_key, t.time_s, gflops)
-    return t.time_s, gflops, False
+            disk.put_cell(memo_key, t.time_s, gflops, attribution)
+    return t.time_s, gflops, attribution, False
 
 
 def run_sweep_with_stats(
@@ -211,7 +221,9 @@ def run_sweep_with_stats(
         for kernel in kernels
     ]
 
-    values: List[Tuple[float, float, bool]] = [None] * len(cells)  # type: ignore[list-item]
+    values: List[Tuple[float, float, Optional[Dict[str, Any]], bool]] = (
+        [None] * len(cells)  # type: ignore[list-item]
+    )
     if jobs > 1 and len(cells) > 1:
         prev = obs.set_tracer(None)
         try:
@@ -243,12 +255,14 @@ def run_sweep_with_stats(
                                     kernel, graph, n, gpu,
                                     memo_key(kernel, gname, n, gpu),
                                 )
-                            time_s, gflops, was_hit = values[i]
+                            time_s, gflops, attribution, was_hit = values[i]
                             i += 1
                             obs.add_sim_time(time_s)
                             if cell is not None:
                                 cell.attrs["time_ms"] = time_s * 1e3
                                 cell.attrs["gflops"] = gflops
+                                if attribution is not None:
+                                    cell.attrs["bound_by"] = attribution["bound_by"]
                         hits += was_hit
                         misses += not was_hit
                         labels = dict(kernel=kernel.name, graph=gname, n=int(n),
@@ -263,6 +277,7 @@ def run_sweep_with_stats(
                                 gpu=gpu.name,
                                 time_s=time_s,
                                 gflops=gflops,
+                                attribution=attribution,
                             )
                         )
             obs.event("sweep.graph.done", graph=gname, gpu=gpu.name)

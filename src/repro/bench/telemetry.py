@@ -50,6 +50,15 @@ _CELL_FIELDS = {
     "gflops": (int, float),
 }
 
+#: required sub-fields of the optional per-cell ``attribution`` block
+#: (the bottleneck-attribution data the gate ignores by default but
+#: ``repro-bench report`` / ``gate --explain`` consume).
+_ATTRIBUTION_FIELDS = {
+    "bound_by": str,
+    "breakdown_ms": dict,
+    "factors": dict,
+}
+
 _GEOMEAN_FIELDS = {
     "target": str,
     "baseline": str,
@@ -79,8 +88,9 @@ def bench_document(
     if baselines is None:
         baselines = [k for k in kernels if k != target]
 
-    cells: List[Dict[str, Any]] = [
-        {
+    cells: List[Dict[str, Any]] = []
+    for r in sorted(results, key=lambda r: (r.gpu, r.graph, int(r.n), r.kernel)):
+        cell: Dict[str, Any] = {
             "kernel": r.kernel,
             "graph": r.graph,
             "n": int(r.n),
@@ -88,8 +98,9 @@ def bench_document(
             "time_ms": r.time_s * 1e3,
             "gflops": r.gflops,
         }
-        for r in sorted(results, key=lambda r: (r.gpu, r.graph, int(r.n), r.kernel))
-    ]
+        if getattr(r, "attribution", None) is not None:
+            cell["attribution"] = r.attribution
+        cells.append(cell)
 
     geomeans: List[Dict[str, Any]] = []
     if target in kernels:
@@ -171,6 +182,46 @@ def _check_fields(obj: Any, fields: Dict[str, Any], where: str, errors: List[str
             errors.append(f"{where}.{name}: negative value {obj[name]!r}")
 
 
+def _check_attribution(attr: Any, where: str, errors: List[str]) -> None:
+    """Validate one optional per-cell attribution block.
+
+    The block is gate-ignored by default but must still be well-formed:
+    reports and ``gate --explain`` read it blind, and a NaN smuggled in
+    through it would break the byte-determinism contract of the
+    document.
+    """
+    if not isinstance(attr, dict):
+        errors.append(f"{where}: expected object, got {type(attr).__name__}")
+        return
+    for name, typ in _ATTRIBUTION_FIELDS.items():
+        if name not in attr:
+            errors.append(f"{where}: missing field {name!r}")
+        elif not isinstance(attr[name], typ) or isinstance(attr[name], bool):
+            errors.append(f"{where}.{name}: wrong type {type(attr[name]).__name__}")
+    for block in ("breakdown_ms", "factors"):
+        values = attr.get(block)
+        if not isinstance(values, dict):
+            continue
+        for comp, value in values.items():
+            w = f"{where}.{block}[{comp!r}]"
+            if not isinstance(comp, str):
+                errors.append(f"{w}: component names must be strings")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{w}: wrong type {type(value).__name__}")
+            elif not math.isfinite(value):
+                errors.append(f"{w}: non-finite value {value!r}")
+            elif value < 0:
+                errors.append(f"{w}: negative value {value!r}")
+    bound = attr.get("bound_by")
+    breakdown = attr.get("breakdown_ms")
+    if (
+        isinstance(bound, str)
+        and isinstance(breakdown, dict)
+        and bound not in breakdown
+    ):
+        errors.append(f"{where}.bound_by: {bound!r} not in breakdown_ms")
+
+
 def validate_bench_document(doc: Any) -> List[str]:
     """Validate a BENCH document against the v1 schema.
 
@@ -201,6 +252,10 @@ def validate_bench_document(doc: Any) -> List[str]:
     else:
         for i, cell in enumerate(cells):
             _check_fields(cell, _CELL_FIELDS, f"cells[{i}]", errors)
+            if isinstance(cell, dict) and "attribution" in cell:
+                _check_attribution(
+                    cell["attribution"], f"cells[{i}].attribution", errors
+                )
         seen = set()
         for cell in cells:
             if isinstance(cell, dict):

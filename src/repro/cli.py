@@ -11,15 +11,19 @@ Installed as ``repro-bench`` (see pyproject).  Examples::
     repro-bench tune --graph soc-Epinions1 --n 512
     repro-bench oom --n 512
     repro-bench trace --graph ca-AstroPh --n 128 --trace-out trace.json
-    repro-bench gate --baseline BENCH_spmm.json
+    repro-bench gate --baseline BENCH_spmm.json --explain
+    repro-bench report --baseline BENCH_spmm.json --out report.md
 
-``profile``, ``sweep``, ``train`` and ``trace`` accept ``--trace-out``
-(Chrome trace-event JSON, or JSONL with a ``.jsonl`` suffix) and
-``--metrics-out`` (metrics-registry JSONL); ``sweep`` additionally takes
-``--bench-json`` to write the machine-readable BENCH artifact.  ``gate``
-regenerates (or loads) a current BENCH document and fails with exit
-code 1 on timing-model drift that lacks an accepted-drift annotation.
-See docs/OBSERVABILITY.md.
+``profile``, ``sweep``, ``train``, ``trace`` and ``gate`` accept
+``--trace-out`` (Chrome trace-event JSON, or JSONL with a ``.jsonl``
+suffix) and ``--metrics-out`` (metrics-registry JSONL); ``sweep``
+additionally takes ``--bench-json`` to write the machine-readable BENCH
+artifact.  ``gate`` regenerates (or loads) a current BENCH document and
+fails with exit code 1 on timing-model drift that lacks an accepted-drift
+annotation; ``--explain`` names the attribution component behind each
+drift.  ``report`` renders the Markdown/JSON performance report
+(bottleneck distribution, roofline placement, cache hit rates, profile
+trees and flamegraph exports).  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -53,7 +57,7 @@ from repro.gnn.inference import (
 )
 from repro.gpusim import KNOWN_GPUS, GTX_1080TI, format_metric_table, profile_kernel
 from repro.sparse import uniform_random
-from repro.sparse.stats import analyze, row_length_histogram
+from repro.sparse.stats import analyze, graph_regime, row_length_histogram
 
 ALL_KERNELS = {
     "simple": SimpleSpMM,
@@ -119,6 +123,15 @@ def _installed_disk_cache(cache_dir: Optional[str]):
     return (lambda: set_disk_cache(prev)), get_disk_cache()
 
 
+def _suite_regimes(suite) -> dict:
+    """``graph -> structural regime`` map for the run metadata block.
+
+    Rides in ``run.regimes`` of BENCH_spmm.json (the gate ignores
+    ``run``) so ``repro-bench report`` can aggregate bound-by counts per
+    graph regime without reloading the graphs."""
+    return {name: graph_regime(suite[name]) for name in sorted(suite)}
+
+
 def cmd_sweep(args) -> int:
     from repro.bench import run_sweep_with_stats
 
@@ -162,6 +175,7 @@ def cmd_sweep(args) -> int:
                     "command": "sweep",
                     "max_nnz": args.max_nnz,
                     "host": host_meta,
+                    "regimes": _suite_regimes(suite),
                 },
             )
         except OSError as exc:
@@ -297,7 +311,12 @@ def _regenerate_document(args):
     results = run_sweep(kernels, suite, args.n, [gpu],
                         jobs=getattr(args, "jobs", 1))
     return bench_document(
-        results, extra_run_meta={"command": "sweep", "max_nnz": args.max_nnz}
+        results,
+        extra_run_meta={
+            "command": "sweep",
+            "max_nnz": args.max_nnz,
+            "regimes": _suite_regimes(suite),
+        },
     )
 
 
@@ -332,7 +351,8 @@ def cmd_gate(args) -> int:
             accept_path = default if default.exists() else None
         accepted = load_accepted_drift(accept_path) if accept_path else []
         report = diff_documents(baseline, current, thresholds=thresholds,
-                                accepted=accepted)
+                                accepted=accepted,
+                                explain=getattr(args, "explain", False))
     except GateError as exc:
         print(f"repro-bench gate: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -347,6 +367,56 @@ def cmd_gate(args) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
     return report.exit_code
+
+
+def cmd_report(args) -> int:
+    """Render the Markdown/JSON performance report from a BENCH document."""
+    from repro.bench.gate import EXIT_USAGE, GateError, load_bench_document
+    from repro.obs.report import (
+        build_profile,
+        load_metrics_jsonl,
+        load_spans_jsonl,
+        performance_report,
+        render_report_markdown,
+        to_folded,
+    )
+
+    try:
+        doc = load_bench_document(args.baseline)
+    except GateError as exc:
+        print(f"repro-bench report: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        spans = load_spans_jsonl(args.trace) if args.trace else None
+        metrics = load_metrics_jsonl(args.metrics) if args.metrics else None
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench report: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = performance_report(doc, spans=spans, metrics=metrics,
+                                top=args.top, source=str(args.baseline))
+    markdown = render_report_markdown(report)
+    try:
+        if args.out:
+            Path(args.out).write_text(markdown)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(markdown, end="")
+        if args.json_out:
+            Path(args.json_out).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.json_out}", file=sys.stderr)
+        if args.folded:
+            if spans is None:
+                print("repro-bench report: --folded needs --trace", file=sys.stderr)
+                return EXIT_USAGE
+            folded = to_folded(build_profile(spans), weight=args.folded_weight)
+            Path(args.folded).write_text(folded + "\n" if folded else "")
+            print(f"wrote {args.folded}", file=sys.stderr)
+    except OSError as exc:
+        print(f"repro-bench report: cannot write output: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -515,7 +585,34 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="disk cache for the in-process regeneration sweep "
                          "(same semantics as `sweep --cache-dir`)")
+    sp.add_argument("--explain", action="store_true",
+                    help="on drift, diff the per-cell attribution blocks "
+                         "and name the ceiling/factor that moved")
+    add_telemetry_opts(sp)
     sp.set_defaults(fn=cmd_gate)
+
+    sp = sub.add_parser(
+        "report",
+        help="render a Markdown/JSON performance report from a BENCH document",
+    )
+    sp.add_argument("--baseline", default="BENCH_spmm.json", metavar="PATH",
+                    help="BENCH document to report on")
+    sp.add_argument("--trace", default=None, metavar="PATH",
+                    help="span-trace JSONL to aggregate into a profile tree")
+    sp.add_argument("--metrics", default=None, metavar="PATH",
+                    help="metrics-registry JSONL for measured cache hit rates")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the Markdown report here (default: stdout)")
+    sp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="also write the machine-readable report")
+    sp.add_argument("--folded", default=None, metavar="PATH",
+                    help="write a collapsed-stack flamegraph export "
+                         "(requires --trace)")
+    sp.add_argument("--folded-weight", default="wall", choices=["wall", "sim"],
+                    help="weight folded stacks by wall or simulated time")
+    sp.add_argument("--top", type=int, default=3, metavar="N",
+                    help="cells listed per ceiling in 'Slowest cells'")
+    sp.set_defaults(fn=cmd_report)
 
     sp = sub.add_parser(
         "cache",
@@ -566,7 +663,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 tracer.write(trace_out)
             if metrics_out:
                 Path(metrics_out).write_text(obs.get_registry().to_jsonl() + "\n")
-        except OSError as exc:
+        except (OSError, ValueError) as exc:
             # The run itself succeeded; don't bury that under a traceback.
             print(f"repro-bench: cannot write telemetry sink: {exc}", file=sys.stderr)
             rc = 1

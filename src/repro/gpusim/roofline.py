@@ -19,7 +19,12 @@ from repro.gpusim.memory import SECTOR
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import flops_of_spmm
 
-__all__ = ["RooflinePoint", "roofline_point", "roofline_report"]
+__all__ = [
+    "RooflinePoint",
+    "roofline_from_quantities",
+    "roofline_point",
+    "roofline_report",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,32 @@ class RooflinePoint:
         )
 
 
+def roofline_from_quantities(
+    kernel_name: str, gpu: GPUSpec, flops: float, link_bytes: float, time_s: float
+) -> RooflinePoint:
+    """Place an execution on ``gpu``'s roofline from recorded quantities.
+
+    This is the re-estimation-free path: ``repro-bench report`` placed
+    every BENCH cell here from the cell's attribution block
+    (``factors.link_bytes``) and timing, without rebuilding graphs or
+    rerunning the simulator.
+    """
+    intensity = flops / link_bytes if link_bytes else float("inf")
+    achieved = flops / time_s / 1e9 if time_s > 0 else 0.0
+    peak = gpu.peak_flops / 1e9
+    mem_roof = gpu.l2_bandwidth * intensity / 1e9
+    bound = "memory" if mem_roof < peak else "compute"
+    return RooflinePoint(
+        kernel=kernel_name,
+        gpu=gpu.name,
+        arithmetic_intensity=intensity,
+        achieved_gflops=achieved,
+        peak_gflops=peak,
+        memory_roof_gflops=mem_roof,
+        bound=bound,
+    )
+
+
 def roofline_point(kernel: SpMMKernel, a: CSRMatrix, n: int, gpu: GPUSpec) -> RooflinePoint:
     """Place one kernel execution on ``gpu``'s roofline."""
     timing = kernel.estimate(a, n, gpu)
@@ -57,20 +88,7 @@ def roofline_point(kernel: SpMMKernel, a: CSRMatrix, n: int, gpu: GPUSpec) -> Ro
     link_bytes = (
         stats.effective_load_sectors(gpu.l1_caches_global) + stats.global_store.transactions
     ) * SECTOR
-    intensity = flops / link_bytes if link_bytes else float("inf")
-    achieved = flops / timing.time_s / 1e9
-    peak = gpu.peak_flops / 1e9
-    mem_roof = gpu.l2_bandwidth * intensity / 1e9
-    bound = "memory" if mem_roof < peak else "compute"
-    return RooflinePoint(
-        kernel=kernel.name,
-        gpu=gpu.name,
-        arithmetic_intensity=intensity,
-        achieved_gflops=achieved,
-        peak_gflops=peak,
-        memory_roof_gflops=mem_roof,
-        bound=bound,
-    )
+    return roofline_from_quantities(kernel.name, gpu, flops, link_bytes, timing.time_s)
 
 
 def roofline_report(

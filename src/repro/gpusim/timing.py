@@ -112,6 +112,10 @@ class KernelTiming:
     breakdown: Dict[str, float] = field(default_factory=dict)
     bound_by: str = ""
     gpu_name: str = ""
+    #: the multiplicative bandwidth factors (f_width / f_ilp / f_occ,
+    #: paper Table VI) plus the link-traffic quantities they derive from
+    #: — the "why" behind ``bound_by`` that attribution reports consume.
+    factors: Dict[str, float] = field(default_factory=dict)
 
     @property
     def gld_throughput(self) -> float:
@@ -121,6 +125,21 @@ class KernelTiming:
 
     def gflops(self, flop_count: int) -> float:
         return flop_count / self.time_s / 1e9
+
+    def attribution(self) -> Dict[str, object]:
+        """JSON-safe bottleneck-attribution block for this launch.
+
+        This is the per-cell ``attribution`` block of ``BENCH_spmm.json``
+        (``docs/OBSERVABILITY.md`` "Reports & attribution"): the binding
+        ceiling, the full per-ceiling time breakdown in milliseconds, and
+        the efficiency factors.  Keys are emitted sorted so the block
+        serializes byte-deterministically.
+        """
+        return {
+            "bound_by": self.bound_by,
+            "breakdown_ms": {k: v * 1e3 for k, v in sorted(self.breakdown.items())},
+            "factors": {k: float(v) for k, v in sorted(self.factors.items())},
+        }
 
 
 def estimate_time(
@@ -231,6 +250,16 @@ def estimate_time(
     breakdown = dict(components)
     breakdown["sync"] = t_sync
     breakdown["launch"] = gpu.launch_overhead_s
+    factors = {
+        "f_width": f_width,
+        "f_ilp": f_ilp,
+        "f_occ": f_occ,
+        "efficiency": min(max(hints.efficiency, 1e-3), 1.0),
+        "avg_request_bytes": avg_request,
+        "l1_hit_frac": hit_frac,
+        "link_bytes": float(link_bytes),
+        "dram_bytes": dram_bytes,
+    }
 
     registry = obs.get_registry()
     registry.counter("sim.timing.launches", gpu=gpu.name).inc()
@@ -245,4 +274,5 @@ def estimate_time(
         breakdown=breakdown,
         bound_by=bound_by,
         gpu_name=gpu.name,
+        factors=factors,
     )

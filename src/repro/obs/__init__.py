@@ -22,6 +22,18 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.report import (
+    ProfileNode,
+    build_profile,
+    cache_hit_rates,
+    load_metrics_jsonl,
+    load_spans_jsonl,
+    performance_report,
+    profile_to_json,
+    render_profile,
+    render_report_markdown,
+    to_folded,
+)
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -49,4 +61,14 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "ProfileNode",
+    "build_profile",
+    "render_profile",
+    "profile_to_json",
+    "to_folded",
+    "load_spans_jsonl",
+    "load_metrics_jsonl",
+    "cache_hit_rates",
+    "performance_report",
+    "render_report_markdown",
 ]

@@ -207,14 +207,34 @@ class Tracer:
         events.extend(self.chrome_events)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def write(self, path: PathLike) -> Path:
-        """Write the trace; ``*.jsonl`` selects JSONL, anything else the
-        Chrome trace-event format."""
+    def write(self, path: PathLike, fmt: Optional[str] = None) -> Path:
+        """Write the trace to ``path``.
+
+        ``fmt`` selects the format explicitly: ``"jsonl"`` (one span per
+        line) or ``"chrome"`` (trace-event JSON).  When ``fmt`` is None
+        it is inferred from the suffix — ``.jsonl`` -> JSONL, ``.json``
+        -> Chrome — and any other suffix raises :class:`ValueError`
+        rather than silently emitting Chrome JSON into a file no viewer
+        will recognize.
+        """
         p = Path(path)
-        if p.suffix == ".jsonl":
+        if fmt is None:
+            if p.suffix == ".jsonl":
+                fmt = "jsonl"
+            elif p.suffix == ".json":
+                fmt = "chrome"
+            else:
+                raise ValueError(
+                    f"cannot infer trace format from suffix {p.suffix!r} "
+                    f"(expected .json or .jsonl); pass fmt='chrome' or "
+                    f"fmt='jsonl'"
+                )
+        if fmt == "jsonl":
             p.write_text(self.to_jsonl() + "\n")
-        else:
+        elif fmt == "chrome":
             p.write_text(json.dumps(self.to_chrome(), sort_keys=True) + "\n")
+        else:
+            raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")
         return p
 
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["MatrixProfile", "analyze", "row_length_histogram", "gini"]
+__all__ = ["MatrixProfile", "analyze", "graph_regime", "row_length_histogram", "gini"]
 
 
 def gini(values: np.ndarray) -> float:
@@ -63,6 +63,25 @@ class MatrixProfile:
             f"  short rows (<32)       {self.short_row_fraction * 100:.1f}%\n"
             f"  column-tile occupancy  {self.tile_occupancy:.2f} nnz per occupied 32-col tile"
         )
+
+
+def graph_regime(a: CSRMatrix, long_row_threshold: float = 16.0,
+                 skew_threshold: float = 0.5) -> str:
+    """Coarse structural regime label for reporting aggregation.
+
+    Rows are "long" when the mean row length reaches ``long_row_threshold``
+    (a half-warp of work per row keeps warp-per-row designs busy), and
+    the distribution is "skewed" when the row-length Gini coefficient
+    reaches ``skew_threshold`` (SNAP power-law graphs sit well above it,
+    meshes well below).  The four labels —
+    ``short-rows/uniform``, ``short-rows/skewed``, ``long-rows/uniform``,
+    ``long-rows/skewed`` — are the regime axis of ``repro-bench report``'s
+    bound-by distribution tables.
+    """
+    lengths = a.row_lengths()
+    length_label = "long-rows" if a.mean_row_length() >= long_row_threshold else "short-rows"
+    skew_label = "skewed" if gini(lengths) >= skew_threshold else "uniform"
+    return f"{length_label}/{skew_label}"
 
 
 def analyze(a: CSRMatrix, tile_width: int = 32) -> MatrixProfile:

@@ -26,6 +26,7 @@ from repro.bench.gate import (
     GateError,
     GateThresholds,
     diff_documents,
+    explain_attribution_drift,
     gate_paths,
     geomean_key,
     load_accepted_drift,
@@ -216,6 +217,112 @@ def test_load_accepted_drift_rejects_malformed(tmp_path, payload, match):
     path.write_text(json.dumps(payload))
     with pytest.raises(GateError, match=match):
         load_accepted_drift(path)
+
+
+# -- gate --explain (attribution diffs) -------------------------------------
+
+
+@pytest.fixture(scope="module")
+def perturbed_docs():
+    """Baseline and current BENCH documents where the current side came
+    from a perturbed ``TimingParams`` — the lower streaming-locality L2
+    hit floor inflates DRAM traffic until it becomes the binding ceiling,
+    the synthetic timing-model drift ``--explain`` must attribute."""
+    from repro.bench.runner import KernelResult
+    from repro.gpusim.timing import TimingParams
+    from repro.sparse.ops import flops_of_spmm
+
+    graph = uniform_random(m=65_536, nnz=650_000, seed=5)
+    gpu = GTX_1080TI
+
+    def doc_with(params):
+        k = GESpMM()
+        t = k.estimate(graph, 512, gpu, params=params)
+        r = KernelResult(kernel=k.name, graph="rand", n=512, gpu=gpu.name,
+                         time_s=t.time_s,
+                         gflops=t.gflops(flops_of_spmm(graph, 512)),
+                         attribution=t.attribution())
+        return bench_document([r])
+
+    return doc_with(None), doc_with(TimingParams(streaming_hit_floor=0.3))
+
+
+def test_explain_names_drifted_component(perturbed_docs):
+    base, cur = perturbed_docs
+    report = diff_documents(base, cur, explain=True)
+    assert not report.passed
+    assert report.regressions, "the perturbation must drift the cell"
+    for d in report.regressions:
+        # the moved ceiling is named first, biggest mover first
+        assert d.explanation.startswith("bound l2_link -> dram; dram +")
+        assert "all else <1%" in d.explanation
+        assert d.explanation in d.describe()
+    assert "explain:" in report.format()
+
+
+def test_explain_off_by_default(perturbed_docs):
+    base, cur = perturbed_docs
+    report = diff_documents(base, cur)
+    assert all(d.explanation == "" for d in report.regressions)
+    assert "explain:" not in report.format()
+
+
+def test_explain_survives_json_round_trip(perturbed_docs):
+    base, cur = perturbed_docs
+    report = diff_documents(base, cur, explain=True)
+    rows = report.to_json()["regressions"]
+    assert all("dram" in r["explanation"] for r in rows)
+    # without --explain the key is absent, keeping old reports byte-stable
+    rows = diff_documents(base, cur).to_json()["regressions"]
+    assert all("explanation" not in r for r in rows)
+
+
+def test_explain_attribution_drift_direct(doc):
+    base_cell = copy.deepcopy(doc["cells"][0])
+    cur_cell = copy.deepcopy(base_cell)
+    assert "attribution" in base_cell, "sweep cells must carry attribution"
+    cur_cell["attribution"]["breakdown_ms"]["dram"] *= 1.312
+    text = explain_attribution_drift(base_cell, cur_cell)
+    assert text.startswith("dram +31.2%")
+    # identical blocks explain to "nothing moved"
+    same = explain_attribution_drift(base_cell, copy.deepcopy(base_cell))
+    assert "no attribution component moved" in same
+    # documents without attribution (older BENCH files) degrade to ""
+    bare = {k: v for k, v in base_cell.items() if k != "attribution"}
+    assert explain_attribution_drift(bare, cur_cell) == ""
+
+
+def test_cli_gate_explain_flag(tmp_path, perturbed_docs):
+    base, cur = perturbed_docs
+    bpath = tmp_path / "base.json"
+    bpath.write_text(json.dumps(base))
+    cpath = tmp_path / "cur.json"
+    cpath.write_text(json.dumps(cur))
+    out = tmp_path / "report.json"
+    rc = cli_main(["gate", "--baseline", str(bpath), "--current", str(cpath),
+                   "--explain", "--json-out", str(out)])
+    assert rc == EXIT_REGRESSED
+    rows = json.loads(out.read_text())["regressions"]
+    assert rows and all(
+        r["explanation"].startswith("bound l2_link -> dram") for r in rows
+    )
+
+
+def test_cli_gate_accepts_telemetry_sinks(tmp_path, doc):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(doc))
+    trace = tmp_path / "gate.jsonl"
+    metrics = tmp_path / "gate-metrics.jsonl"
+    rc = cli_main(["gate", "--baseline", str(base), "--current", str(base),
+                   "--trace-out", str(trace), "--metrics-out", str(metrics)])
+    assert rc == EXIT_OK
+    # both sinks exist and are well-formed (the document-vs-document path
+    # records no spans, so the JSONL trace may be empty)
+    assert trace.exists() and metrics.exists()
+    for path in (trace, metrics):
+        for line in path.read_text().splitlines():
+            if line.strip():
+                json.loads(line)
 
 
 # -- reports ----------------------------------------------------------------

@@ -77,6 +77,38 @@ def test_validator_catches_corruption(sweep_results):
     assert validate_bench_document([]) != []
 
 
+def test_cells_carry_attribution_blocks(sweep_results):
+    doc = bench_document(sweep_results)
+    assert validate_bench_document(doc) == []
+    for cell in doc["cells"]:
+        attr = cell["attribution"]
+        assert attr["bound_by"] in attr["breakdown_ms"]
+        assert set(attr["breakdown_ms"]) == {
+            "dram", "l2_link", "issue", "shared", "compute", "atomics",
+            "sync", "launch",
+        }
+        assert {"f_width", "f_ilp", "f_occ", "efficiency",
+                "link_bytes", "dram_bytes"} <= set(attr["factors"])
+        # breakdown is consistent with the reported cell time:
+        # max(parallel ceilings) + sync + launch == time_ms
+        b = attr["breakdown_ms"]
+        parallel = {k: v for k, v in b.items() if k not in ("sync", "launch")}
+        assert max(parallel.values()) + b["sync"] + b["launch"] == pytest.approx(
+            cell["time_ms"]
+        )
+
+
+def test_attribution_absent_for_plain_results(sweep_results):
+    """Results without attribution (older pipelines) serialize without the
+    block and still validate."""
+    from dataclasses import replace
+
+    stripped = [replace(r, attribution=None) for r in sweep_results]
+    doc = bench_document(stripped)
+    assert validate_bench_document(doc) == []
+    assert all("attribution" not in c for c in doc["cells"])
+
+
 def test_missing_target_yields_empty_geomeans(sweep_results):
     only_baselines = [r for r in sweep_results if r.kernel != "GE-SpMM"]
     doc = bench_document(only_baselines)
@@ -115,6 +147,21 @@ _CORRUPTIONS = {
     "geomean-missing-speedup": lambda d: d["geomeans"][0].pop("speedup"),
     "geomean-inf-speedup": lambda d: d["geomeans"][0].update(speedup=float("inf")),
     "geomean-negative-speedup": lambda d: d["geomeans"][0].update(speedup=-2.0),
+    # per-cell attribution block (optional, but must be well-formed when present)
+    "attr-not-object": lambda d: d["cells"][0].update(attribution="dram"),
+    "attr-missing-bound": lambda d: d["cells"][0]["attribution"].pop("bound_by"),
+    "attr-bound-not-string": lambda d: d["cells"][0]["attribution"].update(bound_by=3),
+    "attr-missing-breakdown": lambda d: d["cells"][0]["attribution"].pop("breakdown_ms"),
+    "attr-breakdown-not-dict": lambda d: d["cells"][0]["attribution"].update(
+        breakdown_ms=[1.0]),
+    "attr-nan-component": lambda d: d["cells"][0]["attribution"]["breakdown_ms"].update(
+        dram=float("nan")),
+    "attr-negative-component": lambda d: d["cells"][0]["attribution"]["breakdown_ms"].update(
+        dram=-1.0),
+    "attr-bool-factor": lambda d: d["cells"][0]["attribution"]["factors"].update(
+        f_occ=True),
+    "attr-bound-not-in-breakdown": lambda d: d["cells"][0]["attribution"].update(
+        bound_by="warp-divergence"),
 }
 
 

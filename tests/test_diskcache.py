@@ -76,7 +76,31 @@ def test_cell_roundtrip(tmp_path):
     key = ("k", "fp", 32, "gpu")
     assert cache.get_cell(key) is None
     cache.put_cell(key, 1.25e-4, 317.5)
-    assert cache.get_cell(key) == (1.25e-4, 317.5)
+    assert cache.get_cell(key) == (1.25e-4, 317.5, None)
+
+
+def test_cell_roundtrip_with_attribution(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 32, "gpu")
+    attr = {
+        "bound_by": "dram",
+        "breakdown_ms": {"dram": 0.12, "l2_link": 0.08},
+        "factors": {"f_width": 0.5, "f_ilp": 1.0, "f_occ": 1.0},
+    }
+    cache.put_cell(key, 1.25e-4, 317.5, attribution=attr)
+    assert cache.get_cell(key) == (1.25e-4, 317.5, attr)
+
+
+def test_cell_bad_attribution_invalidated(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("k", "fp", 32, "gpu")
+    cache.put_cell(key, 1.0, 2.0, attribution={"bound_by": "dram"})
+    path = _sole_entry(cache.root)
+    doc = json.loads(path.read_text())
+    doc["payload"][2] = "dram"  # not a dict or null
+    path.write_text(json.dumps(doc))
+    assert cache.get_cell(key) is None
+    assert cache.counters()["invalidations"] == 1
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,22 @@ def test_histogram_overflow_reports_observed_max():
     assert h.percentile(99) == 100.0
 
 
+def test_histogram_mixed_overflow_percentiles():
+    """In-range samples keep bucket-edge percentiles while ranks that land
+    past the last bound report the observed maximum."""
+    h = Histogram(buckets=(1.0, 2.0, 5.0))
+    for v in (0.5, 1.5, 1.6, 1.7, 4.0, 4.5, 4.9, 4.95, 4.99):  # 9 in range
+        h.observe(v)
+    h.observe(123.0)  # 1 overflow sample (p91..p100)
+    assert h.count == 10
+    assert h.percentile(40) == 2.0  # bucket edge, not an observed value
+    assert h.percentile(90) == 5.0  # last in-range bucket
+    assert h.percentile(91) == 123.0  # first overflow rank: observed max
+    assert h.percentile(99) == 123.0
+    snap = h.snapshot()
+    assert snap["p99"] == 123.0 and snap["max"] == 123.0 and snap["p50"] == 5.0
+
+
 def test_histogram_percentiles_deterministic_across_runs_and_order():
     rng = random.Random(7)
     values = [rng.uniform(0.001, 400.0) for _ in range(500)]

@@ -138,6 +138,48 @@ def test_write_selects_format_by_suffix(tracer, tmp_path):
     assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "x"
 
 
+def test_write_explicit_fmt_overrides_suffix(tracer, tmp_path):
+    with obs.span("x"):
+        pass
+    jsonl = tracer.write(tmp_path / "spans.trace", fmt="jsonl")
+    assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "x"
+    chrome = tracer.write(tmp_path / "spans.dump", fmt="chrome")
+    assert "traceEvents" in json.loads(chrome.read_text())
+
+
+def test_write_unrecognized_suffix_raises(tracer, tmp_path):
+    with obs.span("x"):
+        pass
+    # no more silent Chrome output into a .txt nobody can open
+    with pytest.raises(ValueError, match="suffix"):
+        tracer.write(tmp_path / "trace.txt")
+    assert not (tmp_path / "trace.txt").exists()
+    with pytest.raises(ValueError, match="format"):
+        tracer.write(tmp_path / "t.json", fmt="protobuf")
+
+
+def test_chrome_export_keeps_error_status(tracer):
+    """A nested unwind must survive into the Chrome export: error spans
+    keep ``status: "error"`` in args and valid (non-negative) ts/dur."""
+    with pytest.raises(RuntimeError):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                raise RuntimeError("boom")
+    with obs.span("after"):
+        pass
+    doc = json.loads(json.dumps(tracer.to_chrome()))
+    complete = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert complete["outer"]["args"]["status"] == "error"
+    assert complete["inner"]["args"]["status"] == "error"
+    assert "status" not in complete["after"]["args"]  # ok spans stay clean
+    for e in complete.values():
+        assert e["ts"] >= 0 and e["dur"] > 0
+    # the error'd inner span still nests inside outer on the timeline
+    assert complete["inner"]["ts"] >= complete["outer"]["ts"]
+    assert (complete["inner"]["ts"] + complete["inner"]["dur"]
+            <= complete["outer"]["ts"] + complete["outer"]["dur"])
+
+
 def test_tracing_context_restores_previous_tracer():
     before = obs.get_tracer()
     with obs.tracing() as t:

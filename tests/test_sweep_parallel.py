@@ -58,6 +58,21 @@ class TestJobsDeterminism:
                             memoize=False)
             assert got == baseline, f"jobs={jobs} diverged from serial"
 
+    def test_attribution_identical_across_jobs_and_memo(self, sweep_args):
+        kernels, graphs, widths, gpus = sweep_args
+        cold = run_sweep(kernels, graphs, widths, gpus)  # fills the memo
+        warm = run_sweep(kernels, graphs, widths, gpus, jobs=4)  # all hits
+        for a, b in zip(cold, warm):
+            assert a.attribution is not None
+            assert a.attribution == b.attribution
+            assert a.attribution["bound_by"] in a.attribution["breakdown_ms"]
+            assert {"f_width", "f_ilp", "f_occ", "link_bytes"} <= set(
+                a.attribution["factors"]
+            )
+        # and the serialized documents (which embed attribution) match
+        assert json.dumps(bench_document(cold), sort_keys=True) == \
+            json.dumps(bench_document(warm), sort_keys=True)
+
     def test_result_order_is_serial_emission_order(self, sweep_args):
         kernels, graphs, widths, gpus = sweep_args
         results = run_sweep(kernels, graphs, widths, gpus, jobs=4)
