@@ -47,7 +47,7 @@ from repro.baselines import (
     SpMVLoopSpMM,
 )
 from repro.bench import format_table, geomean, run_sweep, speedup_series
-from repro.core import CRCSpMM, CWMSpMM, GESpMM, SimpleSpMM
+from repro.core import CRCSpMM, CWMSpMM, GESpMM, MergePathSpMM, SimpleSpMM
 from repro.datasets import catalog_names, load_citation, load_graph, load_suite
 from repro.gnn import DGLBackend, GCN, GraphSAGE, PyGBackend, SimDevice, train
 from repro.gnn.inference import (
@@ -63,6 +63,7 @@ ALL_KERNELS = {
     "simple": SimpleSpMM,
     "crc": CRCSpMM,
     "cwm2": lambda: CWMSpMM(2),
+    "mergepath": MergePathSpMM,
     "gespmm": GESpMM,
     "cusparse": CusparseCsrmm2,
     "graphblast": GraphBlastRowSplit,
@@ -138,7 +139,7 @@ def cmd_sweep(args) -> int:
     names = catalog_names()[: args.graphs]
     suite = load_suite(max_nnz=args.max_nnz, names=names)
     gpu = _gpu_arg(args.gpu)
-    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
+    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), MergePathSpMM(), GESpMM()]
     restore, cache = _installed_disk_cache(args.cache_dir)
     try:
         profile0 = {k: _counter_value(f"access_profile.{k}") for k in ("hits", "misses")}
@@ -190,7 +191,10 @@ def cmd_sweep(args) -> int:
             vals = {r.kernel: r.gflops for r in results if r.graph == g and r.n == n}
             row.append("/".join(f"{vals[k.name]:.0f}" for k in kernels))
         rows.append(tuple(row))
-    print(format_table(["matrix"] + [f"N={n} (GB/cuSP/GE)" for n in args.n], rows,
+    abbrev = {"GraphBLAST rowsplit": "GB", "cuSPARSE csrmm2": "cuSP",
+              "mergepath": "MP", "GE-SpMM": "GE"}
+    legend = "/".join(abbrev.get(k.name, k.name) for k in kernels)
+    print(format_table(["matrix"] + [f"N={n} ({legend})" for n in args.n], rows,
                        title=f"GFLOPS on {gpu.name}"))
     for n in args.n:
         for base in ("cuSPARSE csrmm2", "GraphBLAST rowsplit"):
@@ -307,7 +311,7 @@ def _regenerate_document(args):
     names = catalog_names()[: args.graphs]
     suite = load_suite(max_nnz=args.max_nnz, names=names)
     gpu = _gpu_arg(args.gpu)
-    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), GESpMM()]
+    kernels = [GraphBlastRowSplit(), CusparseCsrmm2(), MergePathSpMM(), GESpMM()]
     results = run_sweep(kernels, suite, args.n, [gpu],
                         jobs=getattr(args, "jobs", 1))
     return bench_document(

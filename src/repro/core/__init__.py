@@ -9,6 +9,7 @@ from repro.core.access_profile import (
 from repro.core.crc import CRCSpMM
 from repro.core.cwm import CWMSpMM
 from repro.core.gespmm import ADAPTIVE_THRESHOLD, DEFAULT_CF, GESpMM, gespmm, gespmm_like
+from repro.core.mergepath import MergePartition, MergePathSpMM, merge_path_partition
 from repro.core.semiring import (
     MAX_TIMES,
     MEAN_TIMES,
@@ -34,6 +35,9 @@ __all__ = [
     "gespmm_like",
     "ADAPTIVE_THRESHOLD",
     "DEFAULT_CF",
+    "MergePathSpMM",
+    "MergePartition",
+    "merge_path_partition",
     "Semiring",
     "PLUS_TIMES",
     "MAX_TIMES",

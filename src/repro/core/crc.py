@@ -137,7 +137,15 @@ class CRCSpMM(SpMMKernel):
             regs_per_thread=self.regs_per_thread,
             shared_mem_per_block=_WARPS_PER_BLOCK * self.tile * 8,
         )
-        return stats, launch, ExecHints(mlp=self.mlp)
+        # Warp-per-row drain tail: the launch retires when the warp that
+        # owns the longest row finishes streaming it alone — its serial
+        # chain is that row's B segments plus its staged tiles.  Only
+        # binds when one hub row holds a large share of the nonzeros
+        # (power-law graphs); merge-path bounds this by the segment size.
+        l_max = int(a.row_lengths().max()) if m else 0
+        seg_sec = (min(32, n) + 7) // 8
+        tail = float(l_max * seg_sec + 2 * ((l_max + 7) // 8) + 2) if l_max else 0.0
+        return stats, launch, ExecHints(mlp=self.mlp, tail_sectors=tail)
 
     def trace(self, a, b, gpu, semiring: Semiring = PLUS_TIMES):
         """Batched trace replay — bit-identical stats and output to

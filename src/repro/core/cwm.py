@@ -142,7 +142,14 @@ class CWMSpMM(SpMMKernel):
             regs_per_thread=self.regs_per_thread,
             shared_mem_per_block=_WARPS_PER_BLOCK * _SHARED_PER_WARP,
         )
-        return stats, launch, ExecHints(mlp=self.mlp_for(n))
+        # Warp-per-row drain tail (see CRCSpMM.count): the merged warp's
+        # serial chain covers its ``ac`` active column segments per
+        # consumed element of the longest row.
+        l_max = int(a.row_lengths().max()) if m else 0
+        ac = min(cf, max((n + 31) // 32, 1))
+        per_elem = sum((min(32, n - 32 * c) + 7) // 8 for c in range(ac))
+        tail = float(l_max * per_elem + 2 * ((l_max + 7) // 8) + 2) if l_max else 0.0
+        return stats, launch, ExecHints(mlp=self.mlp_for(n), tail_sectors=tail)
 
     def trace(self, a, b, gpu, semiring: Semiring = PLUS_TIMES):
         """Batched trace replay — bit-identical stats and output to

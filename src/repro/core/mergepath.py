@@ -1,0 +1,505 @@
+"""Merge-based SpMM — equal-work nonzero splitting (merge-path).
+
+Row-split kernels (Algorithms 1/2, CRC/CWM) assign one warp per sparse
+row, so the longest row dictates when the launch retires: on power-law
+graphs a single hub row can hold a double-digit percentage of the
+nonzeros and the grid drains waiting for one warp.  Following Yang,
+Buluç and Owens ("Design Principles for Sparse Matrix Multiplication on
+the GPU"), this kernel instead splits the *merge path* of the CSR
+structure — the merged sequence of ``nnz`` nonzeros and ``M`` row-end
+markers, ``T = nnz + M`` items total — into segments of equal path
+length.  Every warp owns one segment per 32-column output slab:
+
+* **Partition.**  With ``key[r] = rowptr[r] + r``, row ``r`` owns path
+  positions ``[key[r], key[r+1])`` (its nonzeros plus one end marker).
+  Segment ``s`` covers ``[d_s, d_{s+1})`` with ``d_s = s*T // S`` —
+  segment sizes differ by at most one item, independent of the
+  row-length distribution (:func:`merge_path_partition`).
+* **Search.**  Each warp locates its boundary rows with a branchless
+  bisection over ``rowptr`` running exactly ``ceil(log2(M+1))``
+  iterations — one broadcast probe per iteration regardless of data, so
+  the probe stream is identical in the analytic counters, the batched
+  replay, and the per-warp oracle (:func:`_search_probes`).
+* **Row carries.**  A row crossing a segment boundary is accumulated
+  partially by every segment touching it; each such segment performs a
+  C read-modify-write (one extra segment load + store per touching
+  segment) instead of a plain store.  The replay keeps full-precision
+  accumulators across the carry — the model charges the RMW traffic but
+  idealizes the numerics, keeping outputs bit-identical to the CSR-order
+  left fold of :func:`repro.gpusim.batchtrace.fold_spmm_rows`.
+* **No shared memory.**  Sparse indices/values stream through registers
+  in 32-element coalesced chunks and spread lane-to-lane by shuffle, so
+  there are no staging stores and no ``__syncwarp``.
+
+The cost of balance is mild: boundary searches, carry traffic, and a
+shuffle-serialized inner loop that keeps slightly less memory
+parallelism in flight than CRC's shared-memory pipeline (``mlp`` 1.25
+vs 1.4).  On uniform matrices merge-path therefore loses a few percent;
+on skewed matrices it wins because its drain tail is bounded by the
+segment size while row-split's grows with the longest row (see
+``ExecHints.tail_sectors`` in :mod:`repro.gpusim.timing` and the
+merge-path section of docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core import _counting as cnt
+from repro.core.semiring import PLUS_TIMES, Semiring
+from repro.gpusim.batchtrace import BatchTraceMemory, fold_spmm_rows, ragged_arange
+from repro.gpusim.config import GPUSpec
+from repro.gpusim.kernel import KernelCounts, SpMMKernel
+from repro.gpusim.memory import KernelStats, TraceMemory, segment_sectors
+from repro.gpusim.occupancy import LaunchConfig
+from repro.gpusim.timing import ExecHints
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import reference_spmm_like
+
+__all__ = ["MergePathSpMM", "MergePartition", "merge_path_partition"]
+
+_WARPS_PER_BLOCK = 4
+_THREADS_PER_BLOCK = 32 * _WARPS_PER_BLOCK
+_CHUNK = 32  # sparse elements streamed per coalesced register chunk
+_MIN_ITEMS = 32
+_MAX_ITEMS = 256
+
+
+@dataclass(frozen=True)
+class MergePartition:
+    """Equal-work split of a CSR merge path into ``S`` segments.
+
+    ``d``, ``i`` and ``j`` are ``int64[S + 1]``: segment ``s`` covers
+    path positions ``[d[s], d[s+1])``, starts inside row ``i[s]`` and at
+    nonzero index ``j[s]``.  ``d[0] == 0``, ``d[S] == nnz + M``,
+    ``j[0] == 0`` and ``j[S] == nnz`` — the nonzero ranges
+    ``[j[s], j[s+1])`` tile ``[0, nnz)`` exactly once, and consecutive
+    path sizes ``d[s+1] - d[s]`` differ by at most one.
+    """
+
+    d: np.ndarray
+    i: np.ndarray
+    j: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return self.d.size - 1
+
+
+def merge_path_partition(rowptr: np.ndarray, items: int) -> MergePartition:
+    """Split the merge path of ``rowptr`` into segments of ``<= items``.
+
+    The path has ``T = nnz + M`` items (one per nonzero, one end marker
+    per row).  ``S = ceil(T / items)`` segments get ``floor``-balanced
+    boundaries ``d_s = s*T // S``; the two-dimensional split point of
+    each boundary follows from ``key[r] = rowptr[r] + r``:
+    ``i = max{r : key[r] <= d}`` and ``j = d - i``.
+    """
+    if items < 1:
+        raise ValueError("segment size must be at least one path item")
+    rowptr = np.asarray(rowptr, dtype=np.int64)
+    m = rowptr.size - 1
+    total = int(rowptr[-1]) + m
+    if total == 0:
+        zero = np.zeros(1, dtype=np.int64)
+        return MergePartition(d=zero, i=zero.copy(), j=zero.copy())
+    n_seg = -(-total // items)
+    d = (np.arange(n_seg + 1, dtype=np.int64) * total) // n_seg
+    key = rowptr + np.arange(m + 1, dtype=np.int64)
+    i = np.searchsorted(key, d, side="right") - 1
+    return MergePartition(d=d, i=i, j=d - i)
+
+
+def _search_probes(rowptr: np.ndarray, d: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Probe sequence of the branchless merge-path boundary search.
+
+    Locates ``lo = max{r : rowptr[r] + r <= d}`` with a fixed-iteration
+    bisection: every iteration halves the candidate window to
+    ``ceil(size/2)`` whichever way the comparison goes, so all searches
+    issue exactly ``K = M.bit_length()`` probes (converged searches
+    re-probe their answer).  Returns ``(probes, lo)`` with ``probes``
+    ``int64[K, len(d)]`` — the ``rowptr`` index each iteration
+    broadcasts — shared verbatim by the analytic counters, the batched
+    replay, and the per-warp oracle so all three see the same stream.
+    """
+    rowptr = np.asarray(rowptr, dtype=np.int64)
+    m = rowptr.size - 1
+    d = np.asarray(d, dtype=np.int64)
+    k_iters = int(m).bit_length()
+    lo = np.zeros(d.shape, dtype=np.int64)
+    size = np.full(d.shape, m + 1, dtype=np.int64)
+    probes = np.empty((k_iters,) + d.shape, dtype=np.int64)
+    for k in range(k_iters):
+        half = size // 2
+        mid = lo + half
+        probes[k] = mid
+        lo = np.where(rowptr[mid] + mid <= d, mid, lo)
+        size = size - half
+    return probes, lo
+
+
+class _Schedule:
+    """Derived launch schedule shared by ``count``/``trace``/``trace_loop``.
+
+    Everything here follows deterministically from the partition, so the
+    closed forms and both replays agree by construction.
+    """
+
+    def __init__(self, a: CSRMatrix, items: int):
+        rowptr = a.rowptr64()
+        m = a.nrows
+        part = merge_path_partition(rowptr, items)
+        d, i, j = part.d, part.i, part.j
+        self.part = part
+        self.n_segments = part.n_segments
+        self.search_iters = int(m).bit_length()
+        if self.n_segments == 0:
+            empty = np.empty(0, dtype=np.int64)
+            self.touches = np.empty(0, dtype=np.int64)
+            self.split = np.empty(0, dtype=bool)
+            self.carry1 = self.carry2 = np.empty(0, dtype=bool)
+            self.last_row = empty
+            self.chunk_seg = self.chunk_idx = empty
+            self.chunk_start = self.chunk_len = empty
+            return
+        key = rowptr + np.arange(m + 1, dtype=np.int64)
+        # Per row: range of touching segments -> carry structure.  A row
+        # is *split* when more than one segment touches it; every
+        # touching segment of a split row does a C read-modify-write.
+        seg_first = np.searchsorted(d, key[:-1], side="right") - 1
+        seg_last = np.searchsorted(d, key[1:] - 1, side="right") - 1
+        self.seg_first = seg_first
+        self.touches = seg_last - seg_first + 1
+        self.split = self.touches > 1
+        # Carry rows of a segment are at most its two boundary rows: the
+        # first row (if split) and the end-boundary row (if the segment
+        # holds at least one of its path items).
+        self.carry1 = self.split[i[:-1]]
+        self.carry2 = (i[1:] > i[:-1]) & (j[1:] > rowptr[i[1:]])
+        self.last_row = np.where(j[1:] > rowptr[i[1:]], i[1:], i[1:] - 1)
+        # Coalesced 32-element chunks over each segment's nonzero range.
+        nz_counts = j[1:] - j[:-1]
+        n_chunks = (nz_counts + _CHUNK - 1) // _CHUNK
+        self.chunk_seg = np.repeat(
+            np.arange(self.n_segments, dtype=np.int64), n_chunks
+        )
+        self.chunk_idx = ragged_arange(n_chunks)
+        self.chunk_start = j[:-1][self.chunk_seg] + _CHUNK * self.chunk_idx
+        self.chunk_len = np.minimum(
+            _CHUNK, nz_counts[self.chunk_seg] - _CHUNK * self.chunk_idx
+        )
+
+
+class MergePathSpMM(SpMMKernel):
+    """Merge-based SpMM with equal-work path segments per warp."""
+
+    name = "mergepath"
+    supports_general_semiring = True
+
+    regs_per_thread = 40
+    #: the shuffle-serialized register pipeline keeps slightly less
+    #: memory parallelism in flight than CRC's two-phase shared staging.
+    mlp = 1.25
+
+    def __init__(self, items: int = 0):
+        """``items``: merge-path items per segment (0 = size to fill the
+        device: enough segments for half the GPU's resident warps,
+        clamped to [32, 256] items)."""
+        super().__init__()
+        if items and items < 1:
+            raise ValueError("items must be positive (or 0 for automatic sizing)")
+        self.items = int(items)
+        if items:
+            self.name = f"mergepath(items={items})"
+
+    # -- scheduling ----------------------------------------------------
+    def _items_for(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> int:
+        if self.items:
+            return self.items
+        total = a.nnz + a.nrows
+        nseg = cnt.warps_per_row(n, 1)
+        target_tasks = max(gpu.n_sms * gpu.max_warps_per_sm // 2, 1)
+        target_segments = max(-(-target_tasks // nseg), 1)
+        items = -(-max(total, 1) // target_segments)
+        return min(max(items, _MIN_ITEMS), _MAX_ITEMS)
+
+    def _schedule(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> _Schedule:
+        return _Schedule(a, self._items_for(a, n, gpu))
+
+    # -- functional ----------------------------------------------------
+    def run(self, a: CSRMatrix, b: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+        self.check_semiring(semiring)
+        return reference_spmm_like(a, b, semiring)
+
+    # -- analytic ------------------------------------------------------
+    def count(self, a: CSRMatrix, n: int, gpu: GPUSpec) -> KernelCounts:
+        stats = KernelStats()
+        m, nnz = a.nrows, a.nnz
+        nseg = cnt.warps_per_row(n, 1)
+        sched = self._schedule(a, n, gpu)
+        n_seg_path = sched.n_segments
+        tasks = n_seg_path * nseg
+        k_iters = sched.search_iters
+        gl = stats.global_load
+
+        # Boundary searches: 2K fixed broadcast probes per warp task.
+        probe_insts = 2 * k_iters * tasks
+        gl.instructions += probe_insts
+        gl.transactions += probe_insts
+        gl.requested_bytes += 4 * probe_insts
+        gl.l1_filtered_transactions += max(probe_insts // 8, 1) if probe_insts else 0
+
+        # Coalesced register chunks of colind and val over each
+        # segment's nonzero range (per column-segment warp, like CRC).
+        chunk_sectors = int(segment_sectors(sched.chunk_start, sched.chunk_len).sum())
+        n_chunks = int(sched.chunk_seg.size)
+        gl.instructions += 2 * nseg * n_chunks
+        gl.transactions += 2 * nseg * chunk_sectors
+        gl.requested_bytes += 2 * nseg * 4 * nnz
+        gl.l1_filtered_transactions += 2 * nseg * chunk_sectors
+
+        # Dense-row loads: one B segment per consumed nonzero, exactly
+        # the row-split pattern (addresses are identical).
+        b_loads = cnt.count_b_loads(a, n)
+        gl.instructions += b_loads.instructions
+        gl.transactions += b_loads.sectors
+        gl.requested_bytes += b_loads.requested_bytes
+        gl.l1_filtered_transactions += b_loads.sectors
+
+        # C traffic: every touching segment stores every touched row;
+        # split rows add one carry load per touching segment (the RMW).
+        rows = np.arange(m, dtype=np.int64)
+        touches = sched.touches
+        carry_per_row = np.where(sched.split, touches, 0)
+        store_insts = int(touches.sum()) * nseg
+        carry_insts = int(carry_per_row.sum()) * nseg
+        store_sectors = carry_sectors = 0
+        store_bytes = carry_bytes = 0
+        for seg_start, seg_len in cnt.dense_segments(n):
+            sec = segment_sectors(rows * n + seg_start, np.int64(seg_len))
+            store_sectors += int((touches * sec).sum())
+            carry_sectors += int((carry_per_row * sec).sum())
+            store_bytes += 4 * seg_len * int(touches.sum())
+            carry_bytes += 4 * seg_len * int(carry_per_row.sum())
+        gl.instructions += carry_insts
+        gl.transactions += carry_sectors
+        gl.requested_bytes += carry_bytes
+        gl.l1_filtered_transactions += carry_sectors
+        gs = stats.global_store
+        gs.instructions += store_insts
+        gs.transactions += store_sectors
+        gs.requested_bytes += store_bytes
+
+        # No shared memory, no syncs: chunks live in registers and the
+        # walk spreads them by shuffle.
+
+        tr = stats.traffic("colind")
+        tr.sectors = nseg * chunk_sectors
+        tr.unique_bytes = 4 * nnz
+        tr.reuse_is_local = True
+        tv = stats.traffic("values")
+        tv.sectors = nseg * chunk_sectors
+        tv.unique_bytes = 4 * nnz
+        tv.reuse_is_local = True
+        tb = stats.traffic("B")
+        tb.sectors = b_loads.sectors
+        tb.unique_bytes = cnt.unique_b_columns(a) * n * 4
+        tb.reuse_is_local = False
+        tp = stats.traffic("rowptr")
+        tp.sectors = probe_insts
+        tp.unique_bytes = 4 * (m + 1)
+        tp.reuse_is_local = True
+        tc = stats.traffic("C")
+        tc.sectors = carry_sectors
+        tc.unique_bytes = m * n * 4
+        tc.reuse_is_local = True
+
+        stats.flops = 2 * nnz * n
+        # Search arithmetic per probe, per-nonzero walk bookkeeping (the
+        # shuffle spread included), per-chunk and per-task loop control.
+        stats.alu_instructions = (
+            4 * probe_insts + 4 * nnz * nseg + 8 * nseg * n_chunks + 12 * tasks
+        )
+
+        launch = LaunchConfig(
+            blocks=(tasks + _WARPS_PER_BLOCK - 1) // _WARPS_PER_BLOCK,
+            threads_per_block=_THREADS_PER_BLOCK,
+            regs_per_thread=self.regs_per_thread,
+            shared_mem_per_block=0,
+        )
+        # The drain tail is bounded by the *segment* size, not the
+        # longest row — the merge-path headline.  Longest serial chain:
+        # one B segment per path item of the largest segment.
+        if n_seg_path:
+            items_max = int((sched.part.d[1:] - sched.part.d[:-1]).max())
+            seg_sec = (min(32, n) + 7) // 8
+            tail = float(items_max * seg_sec)
+        else:
+            tail = 0.0
+        return stats, launch, ExecHints(mlp=self.mlp, tail_sectors=tail)
+
+    # -- batched replay ------------------------------------------------
+    def trace(self, a, b, gpu, semiring: Semiring = PLUS_TIMES):
+        """Batched trace replay — bit-identical stats and output to
+        :meth:`trace_loop`.
+
+        Warp task ``(segment s, column segment cs)``, in program order:
+        ``2K`` boundary-search probes (steps ``0 .. 2K-1``); the carry C
+        loads (first row at step ``2K``, end-boundary row at ``2K+1``) —
+        placed before the walk so the RMW read precedes its use; per
+        32-element chunk ``t`` one contiguous colind load and one values
+        load (steps ``2K+2 + 34t``, ``+1``) followed by one contiguous B
+        segment load per element ``e`` (step ``2K+4 + 34t + e``);
+        finally one C segment store per touched row.
+        """
+        self.check_semiring(semiring)
+        b = np.ascontiguousarray(b, dtype=np.float32)
+        m, n = a.nrows, b.shape[1]
+        nseg = cnt.warps_per_row(n, 1)
+        mem = BatchTraceMemory(l1_caches_global=gpu.l1_caches_global)
+        mem.register("rowptr", a.rowptr)
+        mem.register("colind", a.colind)
+        mem.register("values", a.values)
+        mem.register("B", b.ravel())
+        mem.register("C", np.full(m * n, semiring.init, dtype=np.float32))
+
+        rowptr = a.rowptr64()
+        sched = self._schedule(a, n, gpu)
+        n_seg_path = sched.n_segments
+        if n_seg_path:
+            d, i, j = sched.part.d, sched.part.i, sched.part.j
+            k_iters = sched.search_iters
+            seg_ids = np.arange(n_seg_path, dtype=np.int64)
+            base = 2 * k_iters + 2
+
+            probes_lo, _ = _search_probes(rowptr, d[:-1])
+            probes_hi, _ = _search_probes(rowptr, d[1:])
+            task_grid = (seg_ids[:, None] * nseg + np.arange(nseg)).ravel()
+            for probes, step0 in ((probes_lo, 0), (probes_hi, k_iters)):
+                if not k_iters:
+                    break
+                starts = np.repeat(probes, nseg, axis=1)
+                mem.load_contiguous(
+                    "rowptr",
+                    starts.ravel(),
+                    1,
+                    task=np.tile(task_grid, k_iters),
+                    step=np.repeat(np.arange(k_iters, dtype=np.int64) + step0, task_grid.size),
+                )
+
+            carry1_rows = i[:-1][sched.carry1]
+            carry1_segs = seg_ids[sched.carry1]
+            carry2_rows = i[1:][sched.carry2]
+            carry2_segs = seg_ids[sched.carry2]
+            store_rows = np.repeat(np.arange(m, dtype=np.int64), sched.touches)
+            store_segs = np.repeat(sched.seg_first, sched.touches) + ragged_arange(
+                sched.touches
+            )
+
+            nz_counts = j[1:] - j[:-1]
+            nz_seg = np.repeat(seg_ids, nz_counts)
+            e = ragged_arange(nz_counts)
+            k_cols = a.colind64()[j[:-1][nz_seg] + e]
+            b_step = base + 2 + 2 * (e // _CHUNK) + e
+
+            for cs in range(nseg):
+                cs0 = 32 * cs
+                cs_len = min(32, n - cs0)
+                mem.load_contiguous(
+                    "C", carry1_rows * n + cs0, cs_len,
+                    task=carry1_segs * nseg + cs, step=2 * k_iters,
+                )
+                mem.load_contiguous(
+                    "C", carry2_rows * n + cs0, cs_len,
+                    task=carry2_segs * nseg + cs, step=2 * k_iters + 1,
+                )
+                mem.load_contiguous(
+                    "colind", sched.chunk_start, sched.chunk_len,
+                    task=sched.chunk_seg * nseg + cs, step=base + 34 * sched.chunk_idx,
+                )
+                mem.load_contiguous(
+                    "values", sched.chunk_start, sched.chunk_len,
+                    task=sched.chunk_seg * nseg + cs, step=base + 34 * sched.chunk_idx + 1,
+                )
+                mem.load_contiguous(
+                    "B", k_cols * n + cs0, cs_len,
+                    task=nz_seg * nseg + cs, step=b_step,
+                )
+                mem.store_contiguous(
+                    "C", store_rows * n + cs0, cs_len, task=store_segs * nseg + cs
+                )
+
+        acc = fold_spmm_rows(
+            rowptr, a.colind, mem.buffer("values"), mem.buffer("B").reshape(-1, n),
+            semiring.init, semiring.reduce_pair, semiring.combine,
+        )
+        c = acc.astype(np.float32)
+        stats = mem.finalize()
+        return (
+            semiring.finalize(c.astype(np.float64), a.row_lengths()).astype(np.float32),
+            stats,
+        )
+
+    # -- per-warp oracle -----------------------------------------------
+    def trace_loop(self, a, b, gpu, semiring: Semiring = PLUS_TIMES):
+        """Reference per-warp loop replay (exact but slow); kept as the
+        parity oracle for the batched :meth:`trace`.
+
+        Accumulators are float64 and persist across segment boundaries —
+        the carry RMW is charged as C traffic but idealized numerically,
+        so the output equals the CSR-order left fold bit-for-bit (the
+        contract :func:`~repro.gpusim.batchtrace.fold_spmm_rows` keeps).
+        """
+        self.check_semiring(semiring)
+        b = np.ascontiguousarray(b, dtype=np.float32)
+        m, n = a.nrows, b.shape[1]
+        mem = TraceMemory(l1_caches_global=gpu.l1_caches_global)
+        mem.register("rowptr", a.rowptr)
+        mem.register("colind", a.colind)
+        mem.register("values", a.values)
+        mem.register("B", b.ravel())
+        mem.register("C", np.full(m * n, semiring.init, dtype=np.float32))
+
+        rowptr = a.rowptr64()
+        nz_rows = a.coo_rows()
+        sched = self._schedule(a, n, gpu)
+        d, i, j = sched.part.d, sched.part.i, sched.part.j
+        k_iters = sched.search_iters
+        lanes = np.arange(32)
+        acc64 = np.full((m, n), semiring.init, dtype=np.float64)
+        for s in range(sched.n_segments):
+            for cs0 in range(0, n, 32):
+                jj = cs0 + lanes
+                active = jj < n
+                for bound in (int(d[s]), int(d[s + 1])):
+                    probes, _ = _search_probes(rowptr, np.array([bound], dtype=np.int64))
+                    for k in range(k_iters):
+                        mem.load("rowptr", np.full(32, probes[k, 0]))
+                if sched.carry1[s]:
+                    mem.load("C", int(i[s]) * n + jj, mask=active)
+                if sched.carry2[s]:
+                    mem.load("C", int(i[s + 1]) * n + jj, mask=active)
+                lo_nz, hi_nz = int(j[s]), int(j[s + 1])
+                for ptr in range(lo_nz, hi_nz, _CHUNK):
+                    chunk_len = min(_CHUNK, hi_nz - ptr)
+                    chunk_mask = lanes < chunk_len
+                    ks = mem.load("colind", ptr + lanes, mask=chunk_mask)
+                    vs = mem.load("values", ptr + lanes, mask=chunk_mask)
+                    for e in range(chunk_len):
+                        r = int(nz_rows[ptr + e])
+                        v = float(vs[e])
+                        bv = np.zeros(32)
+                        bv[active] = mem.load("B", int(ks[e]) * n + jj, mask=active)
+                        acc64[r, jj[active]] = semiring.reduce_pair(
+                            acc64[r, jj[active]], semiring.combine(v, bv[active])
+                        )
+                for r in range(int(i[s]), int(sched.last_row[s]) + 1):
+                    out = np.zeros(32, dtype=np.float32)
+                    out[active] = acc64[r, jj[active]].astype(np.float32)
+                    mem.store("C", r * n + jj, out, mask=active)
+        c = mem.buffer("C").reshape(m, n)
+        lengths = a.row_lengths()
+        return semiring.finalize(c.astype(np.float64), lengths).astype(np.float32), mem.stats

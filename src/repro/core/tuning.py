@@ -17,11 +17,12 @@ reproduces that check through this code).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.core.crc import CRCSpMM
 from repro.core.cwm import CWMSpMM
+from repro.core.mergepath import MergePathSpMM
 from repro.gpusim.config import GPUSpec
 from repro.gpusim.kernel import SpMMKernel
 from repro.sparse.csr import CSRMatrix
@@ -30,39 +31,50 @@ __all__ = ["TuneResult", "tune_cf", "oracle_gap", "TunedSpMM"]
 
 DEFAULT_CF_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 8)
 
+# A candidate is a coarsening factor (1 = plain CRC) or the name of a
+# structurally different schedule ("mergepath") competing in the same
+# tuning run.
+Candidate = Union[int, str]
+
 
 @dataclass(frozen=True)
 class TuneResult:
     """Outcome of tuning one (matrix, N, GPU) point."""
 
-    best_cf: int
-    times: Dict[int, float]  # cf -> simulated seconds (cf=1 means plain CRC)
+    best_cf: Candidate
+    times: Dict[Candidate, float]  # candidate -> simulated seconds
 
     @property
     def best_time(self) -> float:
         return self.times[self.best_cf]
 
-    def loss_of(self, cf: int) -> float:
+    def loss_of(self, cf: Candidate) -> float:
         """Relative slowdown of choosing ``cf`` instead of the best."""
         return self.times[cf] / self.best_time - 1.0
 
 
-def _kernel_for(cf: int) -> SpMMKernel:
-    return CRCSpMM() if cf == 1 else CWMSpMM(cf)
+def _label(c: Candidate):
+    return c if isinstance(c, str) else int(c)
+
+
+def _kernel_for(cf: Candidate) -> SpMMKernel:
+    if cf == "mergepath":
+        return MergePathSpMM()
+    return CRCSpMM() if cf == 1 else CWMSpMM(int(cf))
 
 
 def tune_cf(
     a: CSRMatrix,
     n: int,
     gpu: GPUSpec,
-    candidates: Sequence[int] = DEFAULT_CF_CANDIDATES,
+    candidates: Sequence[Candidate] = DEFAULT_CF_CANDIDATES,
 ) -> TuneResult:
     """Exhaustively evaluate the CF candidates on the model and pick the
     fastest (what an offline autotuner would measure on hardware)."""
     if not candidates:
         raise ValueError("no CF candidates")
     with obs.span("tune.cf", n=int(n), gpu=gpu.name,
-                  candidates=list(int(c) for c in candidates)) as s:
+                  candidates=list(_label(c) for c in candidates)) as s:
         times = {cf: _kernel_for(cf).estimate(a, n, gpu).time_s for cf in candidates}
         best = min(times, key=times.get)
         runner_up = min((t for cf, t in times.items() if cf != best), default=times[best])
@@ -70,11 +82,13 @@ def tune_cf(
         # and in the registry so tuning decisions are auditable later.
         margin = runner_up / times[best] - 1.0 if times[best] > 0 else 0.0
         if s is not None:
-            s.attrs["best_cf"] = int(best)
+            s.attrs["best_cf"] = _label(best)
             s.attrs["margin_over_runner_up"] = margin
-            s.attrs["times_ms"] = {str(cf): t * 1e3 for cf, t in sorted(times.items())}
+            s.attrs["times_ms"] = {
+                str(cf): t * 1e3 for cf, t in sorted(times.items(), key=lambda kv: str(kv[0]))
+            }
     registry = obs.get_registry()
-    registry.counter("tuning.cf_selected", cf=int(best), gpu=gpu.name).inc()
+    registry.counter("tuning.cf_selected", cf=_label(best), gpu=gpu.name).inc()
     registry.observe("tuning.margin_over_runner_up", margin, gpu=gpu.name)
     if 2 in times and times[2] > 0:
         registry.observe(
@@ -87,8 +101,8 @@ def oracle_gap(
     graphs: Iterable[CSRMatrix],
     n: int,
     gpu: GPUSpec,
-    fixed_cf: int = 2,
-    candidates: Sequence[int] = DEFAULT_CF_CANDIDATES,
+    fixed_cf: Candidate = 2,
+    candidates: Sequence[Candidate] = DEFAULT_CF_CANDIDATES,
     threshold: float = 0.15,
 ) -> Tuple[float, int, List[TuneResult]]:
     """Quantify the fixed-CF policy against the per-matrix oracle.
@@ -116,7 +130,7 @@ class TunedSpMM(SpMMKernel):
     supports_general_semiring = True
     requires_preprocess = True
 
-    def __init__(self, candidates: Sequence[int] = DEFAULT_CF_CANDIDATES):
+    def __init__(self, candidates: Sequence[Candidate] = DEFAULT_CF_CANDIDATES):
         super().__init__()
         self.candidates = tuple(candidates)
         self._choice: Dict[tuple, SpMMKernel] = {}

@@ -70,10 +70,20 @@ class ExecHints:
     structural handicaps the counters cannot express — e.g. GraphBLAST's
     single-warp-per-row row-split schedule idles lanes on the short rows
     that dominate SNAP-style degree distributions.
+
+    ``tail_sectors`` is the link traffic of the *longest serial chain* a
+    single warp must move before the launch can retire (the load-balance
+    tail).  Row-split kernels set it from the longest row: when one hub
+    row holds a large share of the nonzeros, the whole grid drains and
+    the final warp streams that row alone at single-warp bandwidth
+    (``tail_bw_frac`` of the link).  Work-balanced schedules (merge-path)
+    bound it by their segment size instead.  ``0.0`` (the default) means
+    "no modeled tail" and changes nothing.
     """
 
     mlp: float = 2.0
     efficiency: float = 1.0
+    tail_sectors: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -99,6 +109,7 @@ class TimingParams:
     streaming_hit_floor: float = 0.6  # scheduling-locality hit floor
     min_request_bytes: float = 32.0
     max_request_bytes: float = 128.0
+    tail_bw_frac: float = 0.0625  # single-warp share of link bw for the drain tail
 
 
 @dataclass
@@ -245,6 +256,15 @@ def estimate_time(
         "compute": t_compute,
         "atomics": t_atomic,
     }
+    # Load-balance drain tail: the last warp streams its serial chain
+    # alone, at a single warp's share of the link.  Opt-in via hints —
+    # a ceiling like the others, so it only binds when the chain is long
+    # relative to the whole launch's traffic (hub rows in power-law
+    # graphs under row-split schedules).
+    if hints.tail_sectors > 0:
+        components["tail"] = hints.tail_sectors * SECTOR / (
+            gpu.l2_bandwidth * params.tail_bw_frac
+        )
     bound_by = max(components, key=components.get)
     time_s = max(components.values()) + t_sync + gpu.launch_overhead_s
     breakdown = dict(components)

@@ -16,7 +16,15 @@ import numpy as np
 
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["MatrixProfile", "analyze", "graph_regime", "row_length_histogram", "gini"]
+__all__ = [
+    "MatrixProfile",
+    "RowImbalance",
+    "analyze",
+    "graph_regime",
+    "row_imbalance",
+    "row_length_histogram",
+    "gini",
+]
 
 
 def gini(values: np.ndarray) -> float:
@@ -28,6 +36,49 @@ def gini(values: np.ndarray) -> float:
     n = v.size
     cum = np.cumsum(v)
     return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+@dataclass(frozen=True)
+class RowImbalance:
+    """Row-length load-imbalance summary for warp-per-row schedules.
+
+    ``gini`` is the Gini coefficient of the row-length distribution
+    (0 = all rows equal, -> 1 = all nonzeros in one row) and
+    ``max_over_mean`` is the longest row divided by the mean row length
+    — the factor by which the slowest warp of a row-split kernel
+    overruns the average one.  Both are 0.0 for an empty matrix, and a
+    matrix with all-equal rows has ``gini == 0.0`` with
+    ``max_over_mean == 1.0``.
+    """
+
+    gini: float
+    max_over_mean: float
+
+    def is_skewed(self, threshold: float = 0.5) -> bool:
+        """Whether the distribution is skewed at the given Gini cut.
+
+        The default threshold is the one ``graph_regime`` uses for its
+        uniform/skewed split: SNAP power-law graphs sit well above it,
+        meshes and uniform-random matrices well below.
+        """
+        return self.gini >= threshold
+
+
+def row_imbalance(a: CSRMatrix) -> RowImbalance:
+    """Compute the :class:`RowImbalance` of ``a``.
+
+    This is the routing statistic for balance-sensitive kernel choices
+    (row-split vs merge-path): high values mean one-warp-per-row designs
+    serialize on hub rows while a work-balanced partition does not.
+    """
+    lengths = a.row_lengths()
+    if lengths.size == 0 or a.nnz == 0:
+        return RowImbalance(gini=0.0, max_over_mean=0.0)
+    mean = float(lengths.mean())
+    return RowImbalance(
+        gini=gini(lengths),
+        max_over_mean=float(lengths.max()) / mean if mean > 0 else 0.0,
+    )
 
 
 def row_length_histogram(a: CSRMatrix, buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)) -> Dict[str, int]:
@@ -78,10 +129,9 @@ def graph_regime(a: CSRMatrix, long_row_threshold: float = 16.0,
     ``long-rows/skewed`` — are the regime axis of ``repro-bench report``'s
     bound-by distribution tables.
     """
-    lengths = a.row_lengths()
     length_label = "long-rows" if a.mean_row_length() >= long_row_threshold else "short-rows"
-    skew_label = "skewed" if gini(lengths) >= skew_threshold else "uniform"
-    return f"{length_label}/{skew_label}"
+    skewed = row_imbalance(a).is_skewed(skew_threshold)
+    return f"{length_label}/{'skewed' if skewed else 'uniform'}"
 
 
 def analyze(a: CSRMatrix, tile_width: int = 32) -> MatrixProfile:

@@ -93,7 +93,7 @@ def test_sweep_bench_json_is_schema_valid(tmp_path):
     assert validate_bench_document(doc) == []
     assert doc["run"]["command"] == "sweep"
     assert {c["kernel"] for c in doc["cells"]} == {
-        "GraphBLAST rowsplit", "cuSPARSE csrmm2", "GE-SpMM"
+        "GraphBLAST rowsplit", "cuSPARSE csrmm2", "mergepath", "GE-SpMM"
     }
     assert doc["geomeans"]  # GE-SpMM vs both baselines
 

@@ -26,6 +26,7 @@ from repro.core import (
     FusedGESpMM,
     GESDDMM,
     GESpMM,
+    MergePathSpMM,
     SimpleSpMM,
     bias_relu_epilogue,
 )
@@ -54,6 +55,7 @@ SPMM_KERNELS = {
     "cwm3": lambda: CWMSpMM(3),
     "cwm4": lambda: CWMSpMM(4),
     "gespmm": GESpMM,  # adaptive: exercises both dispatch paths via N
+    "mergepath": MergePathSpMM,  # work-balanced: splits rows across warps
     "fused-relu": FusedGESpMM,
 }
 
@@ -169,7 +171,7 @@ def test_grid_empty_rows_edge():
     """A matrix with guaranteed empty rows (m >> nnz) must stay in parity:
     empty rows issue no B loads yet still store the init value."""
     factory = lambda seed: uniform_random(m=48, nnz=24, seed=seed)
-    for kernel_id in ("simple", "crc", "cwm2", "gespmm"):
+    for kernel_id in ("simple", "crc", "cwm2", "gespmm", "mergepath"):
         check_spmm_kernel(SPMM_KERNELS[kernel_id], factory, 40,
                           GTX_1080TI, seed=9)
     check_sddmm_kernel(factory, 16, GTX_1080TI, seed=9)

@@ -339,6 +339,7 @@ def test_make_report_from_committed_bench_is_deterministic(tmp_path):
     assert pairs[0] == pairs[1]
     report = json.loads(pairs[0][1])
     # the committed document is fully attributed and regime-labelled
-    assert report["coverage"]["cells"] == report["coverage"]["attributed"] == 36
+    # (4 kernels x 6 graphs x 2 widths since merge-path joined the sweep)
+    assert report["coverage"]["cells"] == report["coverage"]["attributed"] == 48
     assert report["bound_by"] and report["roofline"]
     assert all(row["regime"] != "unknown" for row in report["bound_by"])
