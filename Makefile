@@ -1,6 +1,6 @@
 # Convenience targets for the GE-SpMM reproduction.
 
-.PHONY: install test bench microbench examples artifacts telemetry gate report clean
+.PHONY: install test bench microbench examples artifacts telemetry gate report corpus clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,11 +41,19 @@ gate:
 report:
 	PYTHONPATH=src python -m repro.cli report --baseline BENCH_spmm.json --out report.md --json-out report.json
 
+# Corpus-scale streaming sweep: DLMC-style pruned-DNN + graph matrices,
+# sharded with per-shard checkpoints in .corpus-cache (resumable; see
+# docs/PERFORMANCE.md "Corpus sweeps").  The roll-up is deterministic.
+corpus:
+	PYTHONPATH=src python -m repro.cli corpus --preset mixed --limit 128 \
+	  --shards 8 --jobs $(JOBS) --cache-dir .corpus-cache \
+	  --rollup-json corpus_rollup.json
+
 # The two artifact files DESIGN/EXPERIMENTS reference.
 artifacts:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf benchmarks/results .pytest_cache .benchmarks .bench-cache
+	rm -rf benchmarks/results .pytest_cache .benchmarks .bench-cache .corpus-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -15,7 +15,11 @@ vs. engine-on with interleaved reps:
   counters vs. the cached AccessProfile closed forms, asserted **>= 3x**
   even though the profile side pays the histogram build every rep,
 * a cold-then-warm disk-cached sweep, asserted to recompute **zero**
-  estimates on the warm run and reproduce every cell byte for byte.
+  estimates on the warm run and reproduce every cell byte for byte,
+* a 1000-matrix generator-defined corpus stream in 10 shards, asserting
+  the per-shard ``tracemalloc`` peak stays **flat** (later shards within
+  2x of the first) — the bounded-memory contract of
+  ``repro.bench.corpus.run_corpus_sweep``.
 
 Results are written to ``benchmarks/results/`` and recorded in
 ``BENCH_spmm.json`` under ``run.host.microbench``, a block the
@@ -37,6 +41,10 @@ from repro.bench.hostbench import (
 MIN_AGGREGATE_MAX_SPEEDUP = 3.0
 MIN_GCN_TRAIN_SPEEDUP = 2.0
 MIN_COUNT_GRID_SPEEDUP = 3.0
+#: Per-shard peak memory of the corpus stream must stay flat: later
+#: shards within 2x of the first (typical ~1.1-1.3x from registry/label
+#: growth; a matrix or memo leak across shards pushes it well past 2).
+MAX_CORPUS_PEAK_RATIO = 2.0
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_spmm.json"
 
@@ -75,6 +83,14 @@ def test_host_executor_microbench(benchmark, emit):
     )
     assert dc["byte_identical"], "warm disk-cached sweep diverged from cold run"
     assert dc["disk_invalidations"] == 0
+    # Corpus stream: >=1000 matrices, peak RSS flat across shards.
+    cs = results["corpus_stream"]
+    assert cs["matrices"] >= 1000, f"corpus too small: {cs['matrices']}"
+    assert cs["peak_ratio"] <= MAX_CORPUS_PEAK_RATIO, (
+        f"corpus-stream per-shard peak grew {cs['peak_ratio']:.2f}x over the "
+        f"first shard (cap {MAX_CORPUS_PEAK_RATIO}x) — matrices, derived "
+        f"caches, or memo entries are leaking across shard boundaries"
+    )
     # The raw reduction swaps must at least not regress.
     assert results["spmm_plus"]["speedup"] >= 0.9
     assert results["spmm_max"]["speedup"] >= 0.8

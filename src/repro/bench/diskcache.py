@@ -11,7 +11,12 @@ numbers.  :class:`DiskCache` persists them across processes under the
   semiring.name, params)``;
 * ``cell`` entries — ``(time_s, gflops, attribution)`` sweep cells keyed
   ``(kernel.cache_key(), fingerprint, n, gpu.name)``; ``attribution`` is
-  the per-cell bottleneck block of ``BENCH_spmm.json`` (or None).
+  the per-cell bottleneck block of ``BENCH_spmm.json`` (or None);
+* ``shard`` entries — one completed corpus-sweep shard (the run-ordered
+  cell list plus per-matrix stats; see ``repro.bench.corpus``) keyed on
+  the shard's spec keys, kernel cache keys, widths, and GPU names.
+  Shard checkpoints are what make an interrupted corpus sweep resume
+  with zero recomputation.
 
 Content addressing makes invalidation automatic for *inputs*: a new
 matrix, width, GPU spec, kernel configuration, or calibration constant
@@ -274,6 +279,31 @@ class DiskCache:
     ) -> None:
         self._put("cell", key, [time_s, gflops, attribution])
 
+    def get_shard(self, key: tuple) -> Optional[Dict[str, Any]]:
+        """A completed corpus-sweep shard checkpoint, or None.
+
+        The payload is validated structurally (``cells`` list of 6-item
+        rows, ``stats`` dict) so a malformed checkpoint is invalidated
+        and recomputed rather than poisoning a resumed roll-up.
+        """
+        payload = self._get("shard", key)
+        if payload is None:
+            return None
+        if (
+            isinstance(payload, dict)
+            and isinstance(payload.get("cells"), list)
+            and isinstance(payload.get("stats"), dict)
+            and all(
+                isinstance(c, list) and len(c) == 6 for c in payload["cells"]
+            )
+        ):
+            return payload
+        self._invalidate(self._path("shard", key), "shard")
+        return None
+
+    def put_shard(self, key: tuple, payload: Dict[str, Any]) -> None:
+        self._put("shard", key, payload)
+
     # -- maintenance ----------------------------------------------------
     def _entry_files(self) -> Iterator[Path]:
         if not self.root.is_dir():
@@ -282,8 +312,17 @@ class DiskCache:
             yield from sorted(kind_dir.rglob("*.json"))
 
     def stats(self) -> Dict[str, Any]:
-        """Entry counts and byte sizes, total and per kind."""
+        """Entry counts and byte sizes — total, per kind, and per stored
+        schema version.
+
+        The schema breakdown reads each entry's ``"schema"`` field, so a
+        directory carrying entries from before a ``SCHEMA`` bump shows
+        exactly how many stale bytes a ``clear`` would reclaim.
+        Unreadable or schema-less files are grouped under
+        ``"(unreadable)"`` / ``"(missing)"``.
+        """
         kinds: Dict[str, Dict[str, int]] = {}
+        schemas: Dict[str, Dict[str, int]] = {}
         total_entries = total_bytes = 0
         for f in self._entry_files():
             kind = f.relative_to(self.root).parts[0]
@@ -291,6 +330,15 @@ class DiskCache:
             size = f.stat().st_size
             k["entries"] += 1
             k["bytes"] += size
+            try:
+                doc = json.loads(f.read_text())
+                schema = doc.get("schema") if isinstance(doc, dict) else None
+                label = str(schema) if schema is not None else "(missing)"
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                label = "(unreadable)"
+            s = schemas.setdefault(label, {"entries": 0, "bytes": 0})
+            s["entries"] += 1
+            s["bytes"] += size
             total_entries += 1
             total_bytes += size
         return {
@@ -298,6 +346,7 @@ class DiskCache:
             "entries": total_entries,
             "bytes": total_bytes,
             "kinds": kinds,
+            "schemas": schemas,
         }
 
     def clear(self) -> int:

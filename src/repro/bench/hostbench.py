@@ -48,6 +48,7 @@ __all__ = [
     "bench_gcn_training",
     "bench_count_grid",
     "bench_disk_cache_sweep",
+    "bench_corpus_stream",
     "format_result_line",
     "run_host_microbench",
     "update_bench_json_host",
@@ -311,6 +312,73 @@ def bench_disk_cache_sweep() -> Dict[str, Any]:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_corpus_stream(
+    n_specs: int = 1000, shards: int = 10, memo_limit: int = 256
+) -> Dict[str, Any]:
+    """Stream a ≥``n_specs``-matrix generator-defined corpus through
+    :func:`repro.bench.corpus.run_corpus_sweep` and verify peak memory
+    stays **flat across shards** — the bounded-memory contract.
+
+    ``tracemalloc`` tracks Python-level allocations (NumPy registers its
+    buffers with it), with the peak reset at every shard boundary via the
+    progress callback.  If matrices, derived caches, or memo entries
+    leaked across shards, later per-shard peaks would climb;
+    ``peak_ratio`` is the max later-shard peak over the first shard's
+    peak, and the floor asserted in ``benchmarks/bench_host_executor.py``
+    requires it to stay near 1.
+    """
+    import tracemalloc
+
+    from repro.bench.corpus import dlmc_corpus, run_corpus_sweep
+    from repro.core import GESpMM, MergePathSpMM
+    from repro.gpusim import GTX_1080TI
+
+    # ~1000 tiny DLMC-style specs: 3 methods x 1 shape x 6 sparsities
+    # x enough seeds.  Matrices are 64x64 so the whole stream runs in
+    # seconds while still exercising every corpus code path.
+    seeds = range(-(-n_specs // 18))  # 18 specs per seed
+    specs = list(dlmc_corpus(shapes=((64, 64),), seeds=list(seeds)))[:n_specs]
+    shard_size = -(-len(specs) // shards)
+
+    peaks: list = []
+
+    def sample(_idx: int, _total: int, _restored: bool) -> None:
+        _cur, peak = tracemalloc.get_traced_memory()
+        peaks.append(peak)
+        tracemalloc.reset_peak()
+
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        t0 = time.perf_counter()
+        res = run_corpus_sweep(
+            specs,
+            [GESpMM(), MergePathSpMM()],
+            [16],
+            [GTX_1080TI],
+            shard_size=shard_size,
+            memo_limit=memo_limit,
+            progress=sample,
+        )
+        wall_s = time.perf_counter() - t0
+    finally:
+        if started:
+            tracemalloc.stop()
+    first = peaks[0] if peaks else 1
+    later = max(peaks[1:], default=first)
+    return {
+        "matrices": res.host.matrices,
+        "shards": res.host.shards_total,
+        "cells": res.host.cells_computed + res.host.cells_restored,
+        "wall_s": wall_s,
+        "first_shard_peak_bytes": first,
+        "max_later_peak_bytes": later,
+        "peak_ratio": later / first if first else float("inf"),
+    }
+
+
 def run_host_microbench(
     reps: int = 5, train_reps: int = 3, epochs: int = 3
 ) -> Dict[str, Any]:
@@ -325,6 +393,7 @@ def run_host_microbench(
         "gcn_train": bench_gcn_training(epochs=epochs, reps=train_reps),
         "count_grid": bench_count_grid(),
         "disk_cache": bench_disk_cache_sweep(),
+        "corpus_stream": bench_corpus_stream(),
     }
 
 
@@ -373,6 +442,11 @@ def main() -> int:  # pragma: no cover - convenience entry point
     print(f"disk_cache      cold {dc['cold_s'] * 1e3:8.2f} ms   "
           f"warm {dc['warm_s'] * 1e3:8.2f} ms   "
           f"misses {dc['warm_memo_misses']}  identical {dc['byte_identical']}")
+    cs = results["corpus_stream"]
+    print(f"corpus_stream   {cs['matrices']} matrices / {cs['shards']} shards "
+          f"in {cs['wall_s']:.2f}s   peak ratio {cs['peak_ratio']:.2f} "
+          f"(first {cs['first_shard_peak_bytes']}, "
+          f"later max {cs['max_later_peak_bytes']})")
     updated = update_bench_json_host(results)
     if updated is not None:
         print("recorded under run.host.microbench in BENCH_spmm.json")

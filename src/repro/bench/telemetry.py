@@ -34,6 +34,8 @@ __all__ = [
     "bench_document",
     "write_bench_json",
     "validate_bench_document",
+    "validate_corpus_rollup",
+    "write_corpus_rollup",
 ]
 
 PathLike = Union[str, Path]
@@ -163,6 +165,76 @@ def write_bench_json(
             doc["run"]["host"]["microbench"] = prev_host["microbench"]
     p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
+
+
+def validate_corpus_rollup(doc: Any) -> List[str]:
+    """Validate a corpus roll-up (``repro/corpus-rollup/v1``) document.
+
+    Like :func:`validate_bench_document`: returns human-readable
+    problems, empty list = valid.  Checks the invariants resume
+    correctness rests on — win counts summing to contests, finite
+    means, every kernel present in every win-rate block.
+    """
+    from repro.bench.corpus import ROLLUP_SCHEMA  # late: corpus imports runner
+
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != ROLLUP_SCHEMA:
+        errors.append(f"schema must be {ROLLUP_SCHEMA!r}, got {doc.get('schema')!r}")
+    cfg = doc.get("config")
+    kernels: List[str] = []
+    if not isinstance(cfg, dict):
+        errors.append("config: missing or not an object")
+    else:
+        for key in ("kernels", "widths", "gpus"):
+            if not isinstance(cfg.get(key), list) or not cfg.get(key):
+                errors.append(f"config.{key}: missing or empty list")
+        kernels = [k for k in cfg.get("kernels", []) if isinstance(k, str)]
+    if not isinstance(doc.get("corpus"), dict):
+        errors.append("corpus: missing or not an object")
+
+    def check_block(block: Any, where: str) -> None:
+        if not isinstance(block, dict):
+            errors.append(f"{where}: expected object")
+            return
+        wins, rates = block.get("wins"), block.get("win_rate")
+        if not isinstance(wins, dict) or not isinstance(rates, dict):
+            errors.append(f"{where}: missing wins/win_rate")
+            return
+        for k in kernels:
+            if k not in wins or k not in rates:
+                errors.append(f"{where}: kernel {k!r} missing")
+        contests = block.get("contests")
+        if isinstance(contests, int) and sum(wins.values()) != contests:
+            errors.append(
+                f"{where}: wins sum {sum(wins.values())} != contests {contests}"
+            )
+        for field in ("mean_row_gini", "mean_max_over_mean", "mean_sparsity"):
+            v = block.get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not math.isfinite(v):
+                errors.append(f"{where}.{field}: bad value {v!r}")
+
+    check_block(doc.get("overall"), "overall")
+    for section in ("regimes", "sparsity_bands"):
+        blocks = doc.get(section)
+        if not isinstance(blocks, dict):
+            errors.append(f"{section}: missing or not an object")
+            continue
+        for label, block in blocks.items():
+            check_block(block, f"{section}[{label!r}]")
+    return errors
+
+
+def write_corpus_rollup(rollup: Dict[str, Any], path: PathLike) -> None:
+    """Serialize a corpus roll-up deterministically (sorted keys, no
+    host data) — two runs over the same corpus/config produce
+    byte-identical files, interrupted-and-resumed included."""
+    errors = validate_corpus_rollup(rollup)
+    if errors:  # defensive, same contract as write_bench_json
+        raise ValueError("invalid corpus roll-up: " + "; ".join(errors))
+    Path(path).write_text(json.dumps(rollup, indent=2, sort_keys=True) + "\n")
 
 
 def _check_fields(obj: Any, fields: Dict[str, Any], where: str, errors: List[str]) -> None:

@@ -442,10 +442,85 @@ def cmd_cache(args) -> int:
     stats = cache.stats()
     print(f"cache root: {stats['root']}")
     print(f"entries:    {stats['entries']} ({stats['bytes']} bytes)")
+    print("by kind:")
     for kind, k in sorted(stats["kinds"].items()):
         print(f"  {kind:8s} {k['entries']:6d} entries  {k['bytes']:10d} bytes")
     if not stats["kinds"]:
         print("  (empty)")
+    print("by schema version:")
+    for schema, s in sorted(stats["schemas"].items()):
+        print(f"  {schema:24s} {s['entries']:6d} entries  {s['bytes']:10d} bytes")
+    if not stats["schemas"]:
+        print("  (empty)")
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    """Sharded, resumable corpus sweep with a win-rate roll-up."""
+    from repro.bench.corpus import (
+        corpus_preset,
+        format_rollup,
+        run_corpus_sweep,
+    )
+    from repro.bench.telemetry import write_corpus_rollup
+
+    gpu = _gpu_arg(args.gpu)
+    kernels = [ALL_KERNELS[k]() for k in args.kernels]
+    specs = corpus_preset(args.preset, limit=args.limit)
+    restore, cache = _installed_disk_cache(args.cache_dir)
+    try:
+        res = run_corpus_sweep(
+            specs,
+            kernels,
+            args.n,
+            [gpu],
+            shards=args.shards,
+            shard_size=None if args.shards else args.shard_size,
+            jobs=args.jobs,
+            resume=args.resume,
+            max_shards=args.max_shards,
+            memo_limit=args.memo_limit,
+            progress=(
+                None
+                if args.quiet
+                else lambda i, total, restored: print(
+                    f"[corpus] shard {i + 1}/{total} "
+                    f"{'restored' if restored else 'computed'}",
+                    file=sys.stderr,
+                )
+            ),
+        )
+    finally:
+        restore()
+    h = res.host
+    print(
+        f"[corpus] {h.matrices} matrices / {h.shards_total} shards in "
+        f"{h.wall_s:.2f}s (computed {h.shards_computed}, restored "
+        f"{h.shards_restored}; cells {h.cells_computed} computed / "
+        f"{h.cells_restored} restored)",
+        file=sys.stderr,
+    )
+    if cache is not None:
+        print(f"[corpus] shard checkpoints at {cache.root}", file=sys.stderr)
+    if args.rollup_json:
+        try:
+            write_corpus_rollup(res.rollup, args.rollup_json)
+        except OSError as exc:
+            print(f"repro-bench corpus: cannot write {args.rollup_json}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.rollup_json}", file=sys.stderr)
+    if args.host_json:
+        try:
+            Path(args.host_json).write_text(
+                json.dumps(h.as_dict(), indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            print(f"repro-bench corpus: cannot write {args.host_json}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.host_json}", file=sys.stderr)
+    print(format_rollup(res.rollup))
     return 0
 
 
@@ -626,6 +701,51 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="cache root (default: $REPRO_CACHE_DIR)")
     sp.set_defaults(fn=cmd_cache)
+
+    sp = sub.add_parser(
+        "corpus",
+        help="corpus-scale streaming sweep: shards, checkpoints, win-rate "
+             "roll-up (see docs/PERFORMANCE.md 'Corpus sweeps')",
+    )
+    sp.add_argument("--preset", default="dlmc",
+                    choices=["dlmc", "graphs", "mixed"],
+                    help="which corpus to stream (DLMC-style pruned-DNN "
+                         "matrices, graph generators, or both)")
+    sp.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="corpus size (widens the seed range to reach N)")
+    sp.add_argument("--shards", type=int, default=None, metavar="S",
+                    help="partition the corpus into S shards")
+    sp.add_argument("--shard-size", type=int, default=32, metavar="M",
+                    help="matrices per shard (ignored with --shards)")
+    sp.add_argument("--max-shards", type=int, default=None, metavar="S",
+                    help="stop after S shards (simulates an interrupted "
+                         "sweep; rerun with --cache-dir to resume)")
+    sp.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="restore completed shards from the disk cache "
+                         "(--no-resume recomputes but still checkpoints)")
+    sp.add_argument("--n", type=int, nargs="+", default=[64])
+    sp.add_argument("--gpu", default=GTX_1080TI.name, choices=sorted(KNOWN_GPUS))
+    sp.add_argument("--kernels", nargs="+", default=["gespmm", "mergepath"],
+                    choices=sorted(ALL_KERNELS))
+    sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parallel workers inside each shard (byte-identical "
+                         "for any N)")
+    sp.add_argument("--memo-limit", type=int, default=4096, metavar="E",
+                    help="LRU cap on the estimate/sweep memos while streaming")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="checkpoint completed shards (and estimates/cells) "
+                         "here; a killed run resumes with zero recomputation")
+    sp.add_argument("--rollup-json", default=None, metavar="PATH",
+                    help="write the deterministic win-rate roll-up JSON")
+    sp.add_argument("--host-json", default=None, metavar="PATH",
+                    help="write host-side stats (computed/restored shard and "
+                         "cell counts; machine-varying, kept out of the "
+                         "roll-up)")
+    sp.add_argument("--quiet", action="store_true",
+                    help="suppress per-shard progress lines")
+    add_telemetry_opts(sp)
+    sp.set_defaults(fn=cmd_corpus)
 
     sp = sub.add_parser("oom", help="paper-scale out-of-memory report")
     sp.add_argument("--n", type=int, default=512)

@@ -27,7 +27,7 @@ from repro.gpusim.config import GPUSpec
 from repro.gpusim.kernel import SpMMKernel
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["TuneResult", "tune_cf", "oracle_gap", "TunedSpMM"]
+__all__ = ["TuneResult", "tune_cf", "oracle_gap", "TunedSpMM", "CorpusPriors"]
 
 DEFAULT_CF_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 8)
 
@@ -63,16 +63,102 @@ def _kernel_for(cf: Candidate) -> SpMMKernel:
     return CRCSpMM() if cf == 1 else CWMSpMM(int(cf))
 
 
+@dataclass(frozen=True)
+class CorpusPriors:
+    """Per-regime candidate rankings distilled from a corpus roll-up.
+
+    A corpus sweep (``repro.bench.corpus``) records which kernel wins in
+    each structural regime; handed to :func:`tune_cf` as ``priors``, the
+    tuner evaluates only the regime's top candidates instead of the full
+    grid — the corpus pays the exhaustive cost once, every later tuning
+    call amortizes it.  Regimes the corpus never saw (or saw on fewer
+    than ``min_matrices`` matrices) fall back to the full candidate set.
+    """
+
+    #: regime label -> candidates, best-first (only candidates whose
+    #: kernels appeared in the roll-up).
+    ranking: Dict[str, Tuple[Candidate, ...]]
+    min_matrices: int = 3
+
+    @classmethod
+    def from_rollup(
+        cls,
+        rollup: Dict[str, object],
+        candidates: Sequence[Candidate] = DEFAULT_CF_CANDIDATES,
+        min_matrices: int = 3,
+    ) -> "CorpusPriors":
+        """Distill a ``repro/corpus-rollup/v1`` document into priors.
+
+        Candidates map to roll-up kernels by name (``_kernel_for(c).name``);
+        candidates whose kernel the corpus did not run keep their original
+        relative order after the ranked ones.
+        """
+        name_of = {c: _kernel_for(c).name for c in candidates}
+        ranking: Dict[str, Tuple[Candidate, ...]] = {}
+        regimes = rollup.get("regimes")
+        if isinstance(regimes, dict):
+            for regime, block in regimes.items():
+                if not isinstance(block, dict):
+                    continue
+                if int(block.get("matrices", 0)) < min_matrices:
+                    continue
+                rates = block.get("win_rate")
+                if not isinstance(rates, dict):
+                    continue
+                order = {c: i for i, c in enumerate(candidates)}
+                ranked = sorted(
+                    candidates,
+                    key=lambda c: (-float(rates.get(name_of[c], 0.0)), order[c]),
+                )
+                ranking[str(regime)] = tuple(ranked)
+        return cls(ranking=ranking, min_matrices=min_matrices)
+
+    def shortlist(
+        self,
+        regime: str,
+        candidates: Sequence[Candidate],
+        top_k: int = 2,
+    ) -> Tuple[Candidate, ...]:
+        """The regime's top-``top_k`` candidates (restricted to
+        ``candidates``), or all of ``candidates`` for unknown regimes."""
+        ranked = self.ranking.get(regime)
+        if not ranked:
+            return tuple(candidates)
+        keep = [c for c in ranked if c in candidates][: max(int(top_k), 1)]
+        return tuple(keep) if keep else tuple(candidates)
+
+
 def tune_cf(
     a: CSRMatrix,
     n: int,
     gpu: GPUSpec,
     candidates: Sequence[Candidate] = DEFAULT_CF_CANDIDATES,
+    priors: Optional[CorpusPriors] = None,
+    prior_top_k: int = 2,
 ) -> TuneResult:
     """Exhaustively evaluate the CF candidates on the model and pick the
-    fastest (what an offline autotuner would measure on hardware)."""
+    fastest (what an offline autotuner would measure on hardware).
+
+    With ``priors`` (a :class:`CorpusPriors`), the candidate grid is
+    first narrowed to the matrix's structural regime's top
+    ``prior_top_k`` corpus winners — the corpus-informed fast path.
+    Default behavior (``priors=None``) is unchanged.
+    """
     if not candidates:
         raise ValueError("no CF candidates")
+    if priors is not None:
+        from repro.sparse.stats import graph_regime  # late: stats is leaf-ish
+
+        regime = graph_regime(a)
+        shortlisted = priors.shortlist(regime, candidates, top_k=prior_top_k)
+        pruned = len(candidates) - len(shortlisted)
+        registry = obs.get_registry()
+        registry.counter(
+            "tuning.prior.applied", regime=regime, pruned=pruned > 0
+        ).inc()
+        if pruned:
+            registry.counter("tuning.prior.candidates_pruned").inc(pruned)
+        candidates = shortlisted
     with obs.span("tune.cf", n=int(n), gpu=gpu.name,
                   candidates=list(_label(c) for c in candidates)) as s:
         times = {cf: _kernel_for(cf).estimate(a, n, gpu).time_s for cf in candidates}

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -36,22 +37,78 @@ from repro.gpusim.occupancy import LaunchConfig
 from repro.gpusim.timing import ExecHints, KernelTiming, TimingParams, estimate_time
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["SpMMKernel", "KernelCounts", "clear_estimate_memo"]
+__all__ = [
+    "SpMMKernel",
+    "KernelCounts",
+    "clear_estimate_memo",
+    "set_estimate_memo_limit",
+    "get_estimate_memo_limit",
+]
 
 KernelCounts = Tuple[KernelStats, LaunchConfig, ExecHints]
 
 #: (cache_key(), fingerprint, n, gpu.name, semiring.name, params) -> timing.
 #: Content-addressed and process-wide: equally configured kernel instances
 #: share entries, and GC id reuse can never alias two different matrices.
-_ESTIMATE_MEMO: Dict[tuple, KernelTiming] = {}
+#: Insertion/recency-ordered so an optional LRU cap (corpus-scale sweeps)
+#: can evict the coldest entries; unbounded by default.
+_ESTIMATE_MEMO: "OrderedDict[tuple, KernelTiming]" = OrderedDict()
 #: estimates run inside run_sweep's thread pool, so guard the dict.
 _ESTIMATE_MEMO_LOCK = threading.Lock()
+#: None = unlimited (the historical default; existing sweeps see no
+#: change).  Corpus-scale drivers cap it so streaming thousands of
+#: matrices through one process cannot grow the memo without bound.
+_ESTIMATE_MEMO_LIMIT: Optional[int] = None
 
 
 def clear_estimate_memo() -> None:
     """Reset the process-wide estimate memo (tests, long-lived hosts)."""
     with _ESTIMATE_MEMO_LOCK:
         _ESTIMATE_MEMO.clear()
+
+
+def set_estimate_memo_limit(limit: Optional[int]) -> Optional[int]:
+    """Cap the estimate memo at ``limit`` entries, LRU-evicting beyond it
+    (``kernel.estimate_memo.evictions`` counts the drops); ``None``
+    removes the cap (the default).  Returns the previous limit so callers
+    can restore it.
+    """
+    global _ESTIMATE_MEMO_LIMIT
+    if limit is not None and limit < 1:
+        raise ValueError(f"limit must be a positive int or None, got {limit!r}")
+    with _ESTIMATE_MEMO_LOCK:
+        prev = _ESTIMATE_MEMO_LIMIT
+        _ESTIMATE_MEMO_LIMIT = limit
+        evicted = _trim_estimate_memo_locked()
+    if evicted:
+        obs.get_registry().counter("kernel.estimate_memo.evictions").inc(evicted)
+    return prev
+
+
+def get_estimate_memo_limit() -> Optional[int]:
+    """The current estimate-memo entry cap (None = unlimited)."""
+    with _ESTIMATE_MEMO_LOCK:
+        return _ESTIMATE_MEMO_LIMIT
+
+
+def _trim_estimate_memo_locked() -> int:
+    """Evict LRU entries down to the cap; caller holds the lock."""
+    evicted = 0
+    if _ESTIMATE_MEMO_LIMIT is not None:
+        while len(_ESTIMATE_MEMO) > _ESTIMATE_MEMO_LIMIT:
+            _ESTIMATE_MEMO.popitem(last=False)
+            evicted += 1
+    return evicted
+
+
+def _memo_put(key: tuple, timing: KernelTiming) -> None:
+    """Insert into the memo, LRU-trimming past the cap."""
+    with _ESTIMATE_MEMO_LOCK:
+        _ESTIMATE_MEMO[key] = timing
+        _ESTIMATE_MEMO.move_to_end(key)
+        evicted = _trim_estimate_memo_locked()
+    if evicted:
+        obs.get_registry().counter("kernel.estimate_memo.evictions").inc(evicted)
 
 
 def _disk_cache():
@@ -120,6 +177,8 @@ class SpMMKernel(ABC):
         key = (self.cache_key(), a.fingerprint(), int(n), gpu.name, semiring.name, params)
         with _ESTIMATE_MEMO_LOCK:
             cached = _ESTIMATE_MEMO.get(key)
+            if cached is not None:
+                _ESTIMATE_MEMO.move_to_end(key)  # refresh LRU recency
         registry = obs.get_registry()
         if cached is not None:
             registry.counter(
@@ -136,8 +195,7 @@ class SpMMKernel(ABC):
         if disk is not None:
             timing = disk.get_timing(key)
             if timing is not None:
-                with _ESTIMATE_MEMO_LOCK:
-                    _ESTIMATE_MEMO[key] = timing
+                _memo_put(key, timing)
                 registry.counter(
                     "sim.kernel.estimates", kernel=self.name, gpu=gpu.name, cached=True
                 ).inc()
@@ -151,8 +209,7 @@ class SpMMKernel(ABC):
             if s is not None:
                 s.attrs["time_ms"] = timing.time_s * 1e3
                 s.attrs["bound_by"] = timing.bound_by
-        with _ESTIMATE_MEMO_LOCK:
-            _ESTIMATE_MEMO[key] = timing
+        _memo_put(key, timing)
         if disk is not None:
             disk.put_timing(key, timing)
         return timing

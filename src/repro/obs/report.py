@@ -40,6 +40,7 @@ __all__ = [
     "cache_hit_rates",
     "performance_report",
     "render_report_markdown",
+    "render_corpus_markdown",
 ]
 
 PathLike = Union[str, Path]
@@ -557,3 +558,46 @@ def _profile_from_json(d: Dict[str, Any], path: Tuple[str, ...] = ()) -> Profile
     for child in d.get("children", []):
         node.children[child["name"]] = _profile_from_json(child, node_path)
     return node
+
+
+# ----------------------------------------------------------------------
+# Corpus roll-up rendering
+# ----------------------------------------------------------------------
+def render_corpus_markdown(rollup: Dict[str, Any]) -> str:
+    """Render a corpus-sweep roll-up (``repro/corpus-rollup/v1``, see
+    ``repro.bench.corpus``) as deterministic Markdown: one win-rate
+    table per axis — overall, structural regime (graph_regime +
+    row-imbalance means), and sparsity band."""
+    cfg = rollup.get("config", {})
+    corp = rollup.get("corpus", {})
+    kernels: List[str] = list(cfg.get("kernels", []))
+    out: List[str] = ["# Corpus sweep roll-up", ""]
+    out.append(
+        f"{corp.get('matrices', 0)} matrices in {corp.get('shards', 0)} "
+        f"shards; {corp.get('contests', 0)} contests over "
+        f"{', '.join(kernels)} at widths "
+        f"{', '.join(str(w) for w in cfg.get('widths', []))} on "
+        f"{', '.join(cfg.get('gpus', []))}."
+    )
+
+    def block_rows(blocks: Dict[str, Any]) -> List[List[str]]:
+        rows = []
+        for label in sorted(blocks):
+            b = blocks[label]
+            rows.append(
+                [label, str(b.get("contests", 0)),
+                 f"{b.get('mean_row_gini', 0.0):.3f}",
+                 f"{b.get('mean_sparsity', 0.0):.3f}"]
+                + [f"{b.get('win_rate', {}).get(k, 0.0):.3f}" for k in kernels]
+            )
+        return rows
+
+    headers = ["bucket", "contests", "gini", "sparsity"] + kernels
+    for title, blocks in (
+        ("Overall", {"all": rollup.get("overall", {})}),
+        ("By structural regime", rollup.get("regimes", {})),
+        ("By sparsity band", rollup.get("sparsity_bands", {})),
+    ):
+        out.extend(["", f"## {title} win rates", ""])
+        out.extend(_md_table(headers, block_rows(blocks)))
+    return "\n".join(out) + "\n"

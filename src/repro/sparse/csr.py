@@ -158,6 +158,28 @@ class CSRMatrix:
             self._derived["fingerprint"] = cached
         return cached
 
+    def clear_derived(self) -> int:
+        """Drop every lazily built derived artifact in one call: the
+        derived arrays (``row_lengths``/``rowptr64``/``coo_rows``/
+        ``colind64``), the content fingerprint, and any cached access
+        profile.  Returns the number of artifacts dropped and bumps the
+        ``csr.derived_cache.cleared`` counter by the same amount.
+
+        This is the shard-boundary eviction hook of corpus-scale sweeps
+        (``repro.bench.corpus``): the derived caches roughly double a
+        matrix's resident footprint, so a streaming driver that keeps
+        thousands of matrices flowing through one process must shed them
+        once the matrix's cells are computed.  Everything rebuilds
+        transparently on next use.
+        """
+        from repro import obs  # late: csr is the substrate everything imports
+
+        dropped = len(self._derived)
+        self._derived.clear()
+        if dropped:
+            obs.get_registry().counter("csr.derived_cache.cleared").inc(dropped)
+        return dropped
+
     def row_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(colind, values)`` views for row ``i``."""
         lo, hi = int(self.rowptr[i]), int(self.rowptr[i + 1])

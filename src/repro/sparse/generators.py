@@ -24,6 +24,9 @@ __all__ = [
     "rmat",
     "banded_random",
     "erdos_renyi_nnz",
+    "pruned_magnitude",
+    "pruned_random",
+    "pruned_structured",
 ]
 
 
@@ -145,6 +148,107 @@ def banded_random(
     offsets = rng.integers(-bandwidth, bandwidth + 1, size=nnz, dtype=np.int64)
     cols = np.clip(rows + offsets, 0, m - 1)
     return _finish(rows, cols, m, m, seed, weighted)
+
+
+# ----------------------------------------------------------------------
+# DLMC-style pruned-DNN sparsity patterns
+#
+# The Deep Learning Matrix Collection (Gale et al., the dataset behind
+# PyTorch's benchmarks/sparse/dlmc suite) consists of DNN weight
+# matrices pruned by different methods at sparsities 0.5-0.98.  The
+# three generators below are synthetic twins of its main pattern
+# families: magnitude pruning and random pruning produce unstructured
+# patterns (near-uniform, but magnitude keeps the value distribution's
+# heavy tail), while structured pruning removes whole column blocks per
+# row, producing the clustered column locality that tiling kernels
+# exploit.  All are deterministic given ``seed`` and hit the requested
+# sparsity exactly (up to integer rounding of the kept-entry count).
+# ----------------------------------------------------------------------
+
+
+def _check_sparsity(sparsity: float) -> float:
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity!r}")
+    return float(sparsity)
+
+
+def _kept_count(total: int, sparsity: float) -> int:
+    return total - int(round(sparsity * total))
+
+
+def _csr_from_flat(flat: np.ndarray, values: np.ndarray, m: int, k: int) -> CSRMatrix:
+    rows, cols = np.divmod(flat.astype(np.int64), k)
+    return csr_from_coo(rows, cols, values, shape=(m, k))
+
+
+def pruned_magnitude(m: int, k: int, sparsity: float, *, seed: int = 0) -> CSRMatrix:
+    """Magnitude-pruned dense weight matrix (DLMC ``magnitude_pruning``):
+    draw ``W ~ N(0, 1)`` and keep the largest-magnitude entries so the
+    realized sparsity matches ``sparsity`` exactly.
+
+    The surviving pattern is unstructured (near-uniform) but the value
+    distribution keeps the Gaussian's tails — kept weights are the large
+    ones, unlike :func:`pruned_random`'s unbiased sample.
+    """
+    sparsity = _check_sparsity(sparsity)
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal(m * k).astype(np.float32)
+    keep = _kept_count(m * k, sparsity)
+    if keep == 0:
+        return csr_from_coo([], [], [], shape=(m, k))
+    # Stable argsort (not argpartition) so tie order — and therefore the
+    # matrix fingerprint — is deterministic across NumPy versions.
+    order = np.argsort(-np.abs(w), kind="stable")
+    flat = np.sort(order[:keep])
+    return _csr_from_flat(flat, w[flat], m, k)
+
+
+def pruned_random(m: int, k: int, sparsity: float, *, seed: int = 0) -> CSRMatrix:
+    """Randomly pruned weight matrix (DLMC ``random_pruning``): an exact
+    ``(1 - sparsity)`` fraction of positions survives, drawn uniformly
+    without replacement, with Gaussian values."""
+    sparsity = _check_sparsity(sparsity)
+    rng = np.random.default_rng(seed)
+    keep = _kept_count(m * k, sparsity)
+    if keep == 0:
+        return csr_from_coo([], [], [], shape=(m, k))
+    flat = np.sort(rng.choice(m * k, size=keep, replace=False))
+    values = rng.standard_normal(keep).astype(np.float32)
+    return _csr_from_flat(flat, values, m, k)
+
+
+def pruned_structured(
+    m: int, k: int, sparsity: float, *, block: int = 4, seed: int = 0
+) -> CSRMatrix:
+    """Block-structured pruning: per-row column blocks of width ``block``
+    are kept or dropped whole, by descending block L2 norm of a Gaussian
+    weight draw.
+
+    This is the structured-sparsity family of the DLMC taxonomy: the
+    surviving pattern has dense runs of ``block`` consecutive columns,
+    the clustered locality that locally-dense tiling (ASpT, tensor-core
+    routing) exploits and that unstructured pruning destroys.
+    """
+    sparsity = _check_sparsity(sparsity)
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block!r}")
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((m, k)).astype(np.float32)
+    n_blocks = (k + block - 1) // block
+    padded = np.zeros((m, n_blocks * block), dtype=np.float64)
+    padded[:, :k] = w
+    norms = np.sqrt((padded.reshape(m, n_blocks, block) ** 2).sum(axis=2)).ravel()
+    keep_units = _kept_count(m * n_blocks, sparsity)
+    if keep_units == 0:
+        return csr_from_coo([], [], [], shape=(m, k))
+    order = np.argsort(-norms, kind="stable")
+    units = np.sort(order[:keep_units]).astype(np.int64)
+    rows = np.repeat(units // n_blocks, block)
+    cols = (units % n_blocks)[:, None] * block + np.arange(block, dtype=np.int64)
+    cols = cols.ravel()
+    in_range = cols < k  # drop the padding tail of the last block
+    rows, cols = rows[in_range], cols[in_range]
+    return csr_from_coo(rows, cols, w[rows, cols], shape=(m, k))
 
 
 def erdos_renyi_nnz(m: int, k: int, nnz: int, *, seed: int = 0) -> CSRMatrix:

@@ -299,3 +299,122 @@ def test_cli_cache_env_dir(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
     assert main(["cache", "stats"]) == 0
     assert str(tmp_path) in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers (two processes racing the same key)
+# ----------------------------------------------------------------------
+
+
+def _race_writer(root: str, worker: int, n_keys: int) -> None:
+    """Hammer the same keys from one process (module-level: picklable)."""
+    cache = DiskCache(root)
+    for rep in range(20):
+        for i in range(n_keys):
+            # Both workers write identical payloads per key — the cell
+            # value is a pure function of its key, as in real sweeps.
+            cache.put_cell(("k", f"fp{i}", 64, "g"), float(i), float(2 * i),
+                           {"bound_by": "dram", "breakdown_ms": {"dram": 1.0},
+                            "factors": {}})
+
+
+def test_concurrent_writers_no_corruption(tmp_path):
+    """Two processes racing the same keys through tmp+os.replace must
+    never corrupt an entry, and a reader never observes a partial one."""
+    import multiprocessing as mp
+
+    n_keys = 8
+    ctx = mp.get_context("fork")
+    procs = [
+        ctx.Process(target=_race_writer, args=(str(tmp_path), w, n_keys))
+        for w in range(2)
+    ]
+    for p in procs:
+        p.start()
+    # Read concurrently while the writers race: every get is either a
+    # miss (file not there yet) or the complete, valid payload.
+    reader = DiskCache(tmp_path)
+    seen = 0
+    while any(p.is_alive() for p in procs):
+        for i in range(n_keys):
+            cell = reader.get_cell(("k", f"fp{i}", 64, "g"))
+            if cell is not None:
+                assert cell[0] == float(i) and cell[1] == float(2 * i)
+                assert cell[2]["bound_by"] == "dram"
+                seen += 1
+    for p in procs:
+        p.join()
+        assert p.exitcode == 0
+    assert reader.counters()["invalidations"] == 0  # no partial reads, ever
+    # After the dust settles every key is present and intact.
+    final = DiskCache(tmp_path)
+    for i in range(n_keys):
+        assert final.get_cell(("k", f"fp{i}", 64, "g")) is not None
+    assert final.counters()["invalidations"] == 0
+    # And no temp files were left behind by the atomic-replace protocol.
+    leftovers = [f for f in tmp_path.rglob("*") if ".tmp." in f.name]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Per-schema stats (repro-bench cache stats)
+# ----------------------------------------------------------------------
+
+
+def test_stats_groups_by_schema_version(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put_cell(("k", "fp", 64, "g"), 1.0, 2.0)
+    cache.put_cell(("k", "fp", 128, "g"), 3.0, 4.0)
+    # Hand-craft a leftover entry from a previous schema version and a
+    # corrupt file; stats must label both without touching them.
+    old = tmp_path / "cell" / "zz" / "deadbeef.json"
+    old.parent.mkdir(parents=True)
+    old.write_text(json.dumps({"schema": "repro/diskcache/v1", "kind": "cell",
+                               "key": "old", "payload": [1.0, 2.0, None]}))
+    bad = tmp_path / "cell" / "zz" / "torn.json"
+    bad.write_text("{not json")
+    s = cache.stats()
+    assert s["entries"] == 4
+    assert s["schemas"][SCHEMA]["entries"] == 2
+    assert s["schemas"]["repro/diskcache/v1"]["entries"] == 1
+    assert s["schemas"]["(unreadable)"]["entries"] == 1
+    assert sum(v["entries"] for v in s["schemas"].values()) == s["entries"]
+    assert sum(v["bytes"] for v in s["schemas"].values()) == s["bytes"]
+
+
+def test_cli_cache_stats_shows_schemas(tmp_path, capsys):
+    from repro.cli import main
+
+    DiskCache(tmp_path).put_cell(("k", "fp", 64, "g"), 1.0, 2.0)
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "by schema version:" in out
+    assert SCHEMA in out
+
+
+# ----------------------------------------------------------------------
+# Shard entries (corpus checkpoints)
+# ----------------------------------------------------------------------
+
+
+def test_shard_roundtrip(tmp_path):
+    cache = DiskCache(tmp_path)
+    payload = {
+        "cells": [["crc", "m0", 64, "g", 0.5, 2.0]],
+        "stats": {"m0": {"regime": "short-rows/uniform", "sparsity": 0.9}},
+    }
+    key = ("corpus-shard", (("m0", "uniform", ()),), ("ck",), (64,), ("g",))
+    assert cache.get_shard(key) is None
+    cache.put_shard(key, payload)
+    back = cache.get_shard(key)
+    assert back == json.loads(json.dumps(payload))  # JSON-exact round-trip
+
+
+def test_shard_malformed_payload_invalidated(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = ("corpus-shard", (("m0", "uniform", ()),), ("ck",), (64,), ("g",))
+    cache.put_shard(key, {"cells": [["too", "short"]], "stats": {}})
+    assert cache.get_shard(key) is None  # structurally invalid -> recompute
+    assert cache.counters()["invalidations"] == 1
+    cache.put_shard(key, {"cells": "nope", "stats": {}})
+    assert cache.get_shard(key) is None
