@@ -12,10 +12,14 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Host-executor microbenchmark: segmented-reduction engine vs. the
-# preserved scatter oracles (see docs/PERFORMANCE.md "Host executor").
+# preserved scatter oracles (see docs/PERFORMANCE.md "Host executor"),
+# plus the incremental-delta bench (see "Dynamic graphs").  Separate
+# pytest invocations: each file's timings assume a fresh process heap
+# (the rebuild loops leave glibc in a state that taxes later timings).
 # Asserts the speedup floors and records timings under the gate-ignored
 # run.host.microbench block of BENCH_spmm.json.
 microbench:
+	PYTHONPATH=src python -m pytest benchmarks/bench_delta_updates.py -q --durations=5 --override-ini "addopts=-q"
 	PYTHONPATH=src python -m pytest benchmarks/bench_host_executor.py -q --durations=5 --override-ini "addopts=-q"
 
 examples:

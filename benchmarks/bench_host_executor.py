@@ -16,6 +16,10 @@ vs. engine-on with interleaved reps:
   even though the profile side pays the histogram build every rep,
 * a cold-then-warm disk-cached sweep, asserted to recompute **zero**
   estimates on the warm run and reproduce every cell byte for byte,
+* incremental ``apply_delta`` vs. a full CSR + profile rebuild on a
+  100k-edge power-law graph (a 1% mixed batch), recorded with a soft
+  regression guard — the strict 5x floor is ``bench_delta_updates.py``'s,
+  which controls allocator state via subprocess isolation,
 * a 1000-matrix generator-defined corpus stream in 10 shards, asserting
   the per-shard ``tracemalloc`` peak stays **flat** (later shards within
   2x of the first) — the bounded-memory contract of
@@ -41,6 +45,13 @@ from repro.bench.hostbench import (
 MIN_AGGREGATE_MAX_SPEEDUP = 3.0
 MIN_GCN_TRAIN_SPEEDUP = 2.0
 MIN_COUNT_GRID_SPEEDUP = 3.0
+#: Regression guard only — the strict >=5x ISSUE floor lives in
+#: ``bench_delta_updates.py``, which measures in a fresh subprocess.
+#: Here ``delta_apply`` runs first inside ``run_host_microbench`` (so
+#: ``make microbench`` sees a fresh heap, ~6.5x), but under
+#: ``pytest benchmarks/`` earlier bench files dirty the allocator and
+#: the incremental side pays a persistent page-fault tax (~3.9x).
+MIN_DELTA_APPLY_GUARD = 3.0
 #: Per-shard peak memory of the corpus stream must stay flat: later
 #: shards within 2x of the first (typical ~1.1-1.3x from registry/label
 #: growth; a matrix or memo leak across shards pushes it well past 2).
@@ -90,6 +101,14 @@ def test_host_executor_microbench(benchmark, emit):
         f"corpus-stream per-shard peak grew {cs['peak_ratio']:.2f}x over the "
         f"first shard (cap {MAX_CORPUS_PEAK_RATIO}x) — matrices, derived "
         f"caches, or memo entries are leaking across shard boundaries"
+    )
+    # Incremental delta application vs. full rebuild (see the guard's
+    # comment; the strict 5x floor is bench_delta_updates.py's).
+    da = results["delta_apply"]
+    assert da["parity"], "delta_apply diverged from the rebuild oracle"
+    assert da["speedup"] >= MIN_DELTA_APPLY_GUARD, (
+        f"incremental delta apply speedup {da['speedup']:.2f}x below the "
+        f"{MIN_DELTA_APPLY_GUARD}x regression guard"
     )
     # The raw reduction swaps must at least not regress.
     assert results["spmm_plus"]["speedup"] >= 0.9

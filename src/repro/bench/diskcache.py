@@ -304,6 +304,43 @@ class DiskCache:
     def put_shard(self, key: tuple, payload: Dict[str, Any]) -> None:
         self._put("shard", key, payload)
 
+    # -- targeted invalidation -------------------------------------------
+    def invalidate_matrix(self, fingerprint: str) -> int:
+        """Remove every entry whose key references one matrix fingerprint.
+
+        The dynamic-graph garbage collector (``repro.sparse.delta``):
+        entry filenames are content-addressed digests, so the store is
+        scanned and each entry's stored ``key`` repr is checked for the
+        fingerprint (as a quoted string — fingerprints are 32-hex-char
+        BLAKE2b digests, so an accidental match inside an unrelated key
+        component is not a realistic collision).  Matching ``timing``
+        and ``cell`` entries are unlinked; ``shard`` checkpoints whose
+        spec keys embed the print are dropped too, forcing those shards
+        to recompute rather than replay stale cells.  Entries for every
+        other matrix are untouched.  Returns the number removed, counted
+        per kind under ``diskcache.targeted_invalidations``.
+        """
+        from repro import obs  # late: keep import cost off the cold path
+
+        needle = repr(str(fingerprint))
+        removed = 0
+        registry = obs.get_registry()
+        for f in list(self._entry_files()):
+            try:
+                doc = json.loads(f.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue  # corrupt entries are handled by the read path
+            if not isinstance(doc, dict) or needle not in str(doc.get("key", "")):
+                continue
+            kind = f.relative_to(self.root).parts[0]
+            try:
+                f.unlink()
+            except OSError:
+                continue
+            removed += 1
+            registry.counter("diskcache.targeted_invalidations", kind=kind).inc()
+        return removed
+
     # -- maintenance ----------------------------------------------------
     def _entry_files(self) -> Iterator[Path]:
         if not self.root.is_dir():

@@ -31,6 +31,7 @@ __all__ = [
     "run_sweep",
     "run_sweep_with_stats",
     "clear_sweep_cache",
+    "invalidate_sweep_cells_for",
     "set_sweep_cache_limit",
     "get_sweep_cache_limit",
     "csr_fingerprint",
@@ -142,6 +143,23 @@ def clear_sweep_cache() -> None:
     """Drop all memoized sweep cells (for tests and long-lived hosts)."""
     with _SWEEP_CACHE_LOCK:
         _SWEEP_CACHE.clear()
+
+
+def invalidate_sweep_cells_for(fingerprint: str) -> int:
+    """Drop every memoized sweep cell keyed on one matrix fingerprint.
+
+    The targeted alternative to :func:`clear_sweep_cache` for dynamic
+    graphs (``repro.sparse.delta``): only the superseded matrix's cells
+    — ``key[1]`` is the fingerprint component — are reclaimed.  Returns
+    the number dropped (also counted as ``sweep.memo.invalidations``).
+    """
+    with _SWEEP_CACHE_LOCK:
+        stale = [k for k in _SWEEP_CACHE if k[1] == fingerprint]
+        for k in stale:
+            del _SWEEP_CACHE[k]
+    if stale:
+        obs.get_registry().counter("sweep.memo.invalidations").inc(len(stale))
+    return len(stale)
 
 
 def set_sweep_cache_limit(limit: Optional[int]) -> Optional[int]:

@@ -53,6 +53,7 @@ __all__ = [
     "AccessProfile",
     "dense_segments",
     "access_profile",
+    "seed_access_profile",
     "clear_access_profile",
 ]
 
@@ -86,6 +87,7 @@ class AccessProfile:
 
     __slots__ = (
         "nrows",
+        "ncols",
         "nnz",
         "unique_b_columns",
         "occupied_rows",
@@ -93,6 +95,7 @@ class AccessProfile:
         "_pl_len",
         "_pl_count",
         "_colind_mod8",
+        "_col_counts",
         "_b_loads",
         "_c_stores",
         "_tiles",
@@ -102,6 +105,7 @@ class AccessProfile:
 
     def __init__(self, a: CSRMatrix) -> None:
         self.nrows = a.nrows
+        self.ncols = a.ncols
         self.nnz = a.nnz
         lengths = a.row_lengths()
         phases = a.rowptr64()[:-1] % ELEMS_PER_SECTOR
@@ -119,6 +123,11 @@ class AccessProfile:
         ).astype(np.int64)
         self.unique_b_columns = int(np.unique(a.colind).size) if a.nnz else 0
         self.occupied_rows = int((lengths > 0).sum())
+        #: int64[ncols] multiplicity of each column, built lazily by the
+        #: first incremental update (it is only needed to maintain
+        #: ``unique_b_columns`` across deltas) — maintenance state, not
+        #: part of the query surface or the parity contract.
+        self._col_counts: "np.ndarray | None" = None
         self._b_loads: Dict[int, AccessTotals] = {}
         self._c_stores: Dict[int, AccessTotals] = {}
         self._tiles: Dict[int, AccessTotals] = {}
@@ -235,6 +244,127 @@ class AccessProfile:
             )
         return self._broadcast
 
+    # ------------------------------------------------------------------
+    # Incremental evolution under edge deltas
+    # ------------------------------------------------------------------
+    def updated(
+        self,
+        *,
+        nnz: int,
+        removed_pairs: Tuple[np.ndarray, np.ndarray],
+        added_pairs: Tuple[np.ndarray, np.ndarray],
+        removed_cols: np.ndarray,
+        added_cols: np.ndarray,
+        occupied_rows: int,
+        parent_colind: np.ndarray,
+    ) -> "AccessProfile":
+        """A new profile reflecting an edge delta, in O(Δ + changed rows
+        + distinct pairs) instead of the O(nnz) constructor passes.
+
+        ``removed_pairs``/``added_pairs`` are the ``(phase, length)``
+        rows of every row whose pair changed — the rows the delta touched
+        *plus* any row whose start phase rotated because the cumulative
+        nnz shift before it is nonzero mod 8 (:mod:`repro.sparse.delta`
+        computes both sets).  ``removed_cols``/``added_cols`` are the
+        deleted and inserted column indices (value updates move no
+        columns).  The result is canonically identical — same arrays,
+        same ordering, same dtypes — to ``AccessProfile(child_matrix)``;
+        the delta parity suite enforces this.
+
+        ``parent_colind`` seeds the per-column multiplicity table on the
+        first incremental update (one O(nnz) ``bincount``, amortized over
+        the whole delta chain); afterwards ``unique_b_columns`` is
+        maintained in O(Δ).
+        """
+        child = object.__new__(AccessProfile)
+        child.nrows = self.nrows
+        child.ncols = self.ncols
+        child.nnz = int(nnz)
+
+        # (phase, length) pair histogram: subtract changed rows' old
+        # pairs, add their new ones, re-canonicalize.  Any common span
+        # larger than every length preserves the constructor's
+        # lexicographic (phase, length) ordering.
+        rem_phase, rem_len = removed_pairs
+        add_phase, add_len = added_pairs
+        span = int(
+            max(
+                self._pl_len.max(initial=0),
+                rem_len.max(initial=0),
+                add_len.max(initial=0),
+            )
+        ) + 1
+        keys = np.concatenate([
+            self._pl_phase * span + self._pl_len,
+            rem_phase * span + rem_len,
+            add_phase * span + add_len,
+        ])
+        weights = np.concatenate([
+            self._pl_count,
+            np.full(rem_phase.shape[0], -1, dtype=np.int64),
+            np.ones(add_phase.shape[0], dtype=np.int64),
+        ])
+        if ELEMS_PER_SECTOR * span <= 1 << 20:
+            # Dense histogram over the (small) key space beats the
+            # O(k log k) unique/scatter path; float64 weights are exact
+            # for these magnitudes.
+            dense = np.bincount(
+                keys, weights=weights, minlength=ELEMS_PER_SECTOR * span
+            ).astype(np.int64)
+            if dense.min() < 0:
+                raise ValueError("pair-histogram update went negative; the "
+                                 "removed set does not match the parent profile")
+            uniq = np.flatnonzero(dense)
+            counts = dense[uniq]
+        else:  # a row longer than ~128k elements: stay sparse
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            counts = np.zeros(uniq.shape[0], dtype=np.int64)
+            np.add.at(counts, inverse, weights)
+            if counts.size and counts.min() < 0:
+                raise ValueError("pair-histogram update went negative; the "
+                                 "removed set does not match the parent profile")
+            keep = counts > 0
+            uniq, counts = uniq[keep], counts[keep]
+        child._pl_phase = uniq // span
+        child._pl_len = uniq % span
+        child._pl_count = counts
+
+        # colind mod-8 residue histogram: additive in edges.
+        child._colind_mod8 = (
+            self._colind_mod8
+            - np.bincount(removed_cols % ELEMS_PER_SECTOR, minlength=ELEMS_PER_SECTOR)
+            + np.bincount(added_cols % ELEMS_PER_SECTOR, minlength=ELEMS_PER_SECTOR)
+        ).astype(np.int64)
+
+        # Column multiplicities -> unique_b_columns in O(Δ).
+        col_counts = self._col_counts
+        if col_counts is None:
+            col_counts = np.bincount(
+                parent_colind, minlength=self.ncols
+            ).astype(np.int64)
+            self._col_counts = col_counts  # memoize: one seed per parent
+        new_counts = col_counts.copy()
+        np.subtract.at(new_counts, removed_cols, 1)
+        np.add.at(new_counts, added_cols, 1)
+        affected = np.unique(np.concatenate([removed_cols, added_cols]))
+        if affected.size and new_counts[affected].min() < 0:
+            raise ValueError("column-count update went negative; the "
+                             "removed set does not match the parent profile")
+        child.unique_b_columns = self.unique_b_columns + int(
+            (new_counts[affected] > 0).sum() - (col_counts[affected] > 0).sum()
+        )
+        child._col_counts = new_counts
+        child.occupied_rows = int(occupied_rows)
+
+        # Per-n/tile memos depend on the histograms: start fresh.  The
+        # base grids are pure functions of n, so they carry over.
+        child._b_loads = {}
+        child._c_stores = {}
+        child._tiles = {}
+        child._grids = dict(self._grids)
+        child._broadcast = -1
+        return child
+
 
 def access_profile(a: CSRMatrix) -> AccessProfile:
     """The cached :class:`AccessProfile` of ``a`` (built on first use).
@@ -254,6 +384,17 @@ def access_profile(a: CSRMatrix) -> AccessProfile:
     prof = AccessProfile(a)
     a._derived["access_profile"] = prof
     return prof
+
+
+def seed_access_profile(a: CSRMatrix, prof: AccessProfile) -> None:
+    """Install a profile built out-of-band — the delta path evolves the
+    parent's cached profile via :meth:`AccessProfile.updated` and seeds
+    it here so the child matrix never pays the O(nnz) constructor.
+    Counted as ``access_profile.seeded``."""
+    from repro import obs  # late: keep the core import graph light
+
+    obs.get_registry().counter("access_profile.seeded").inc()
+    a._derived["access_profile"] = prof
 
 
 def clear_access_profile(a: CSRMatrix) -> None:

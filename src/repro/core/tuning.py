@@ -27,7 +27,14 @@ from repro.gpusim.config import GPUSpec
 from repro.gpusim.kernel import SpMMKernel
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["TuneResult", "tune_cf", "oracle_gap", "TunedSpMM", "CorpusPriors"]
+__all__ = [
+    "TuneResult",
+    "tune_cf",
+    "oracle_gap",
+    "TunedSpMM",
+    "CorpusPriors",
+    "RetuneThresholds",
+]
 
 DEFAULT_CF_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 8)
 
@@ -203,6 +210,42 @@ def oracle_gap(
     return (max(losses) if losses else 0.0, n_bad, results)
 
 
+@dataclass(frozen=True)
+class RetuneThresholds:
+    """When is an edge delta big enough to re-run the tuner?
+
+    Per Yang–Buluç–Owens the winning kernel is a function of the
+    row-length *distribution*, which is exactly what edge updates
+    perturb — so :meth:`TunedSpMM.rekey_after_delta` re-selects only
+    when the :func:`~repro.sparse.stats.structural_drift` between the
+    old and new matrix version crosses one of these:
+
+    * ``gini_delta`` — absolute change of the row-length Gini
+      coefficient (0.05 is well below the 0.5 uniform/skewed regime cut
+      but far above what single-edge churn produces);
+    * ``max_over_mean_ratio`` — factor by which the longest-row/mean
+      ratio may move in either direction before the row-split-vs-merge
+      trade-off is considered re-opened;
+    * ``on_regime_change`` — a :func:`~repro.sparse.stats.graph_regime`
+      relabel always retunes (the regime *is* the tuner's aggregation
+      axis).
+    """
+
+    gini_delta: float = 0.05
+    max_over_mean_ratio: float = 1.5
+    on_regime_change: bool = True
+
+    def crossed(self, drift) -> Optional[str]:
+        """The name of the first threshold ``drift`` crosses, or None."""
+        if drift.gini_delta >= self.gini_delta:
+            return "gini"
+        if drift.max_over_mean_ratio >= self.max_over_mean_ratio:
+            return "max_over_mean"
+        if self.on_regime_change and drift.regime_changed:
+            return "regime"
+        return None
+
+
 class TunedSpMM(SpMMKernel):
     """A per-(matrix, N, GPU) autotuned SpMM — the preprocessing-flavored
     alternative the paper argues against for runtime use.
@@ -260,3 +303,51 @@ class TunedSpMM(SpMMKernel):
         """What the tuning itself costs on-device: one timed run per
         candidate (measurement runs execute the real kernel)."""
         return sum(_kernel_for(cf).estimate(a, n, gpu).time_s for cf in self.candidates)
+
+    def rekey_after_delta(
+        self,
+        old: CSRMatrix,
+        new: CSRMatrix,
+        thresholds: RetuneThresholds = RetuneThresholds(),
+    ) -> bool:
+        """Migrate tuning decisions from ``old`` to its delta-successor
+        ``new``, re-tuning only when structural drift crosses
+        ``thresholds``.
+
+        The tuner's choices are content-addressed on the fingerprint, so
+        a delta-built successor never aliases its parent's entries — but
+        re-running ``tune_cf`` for every small update would defeat the
+        O(Δ) update path.  Instead:
+
+        * drift below every threshold — the old matrix's cached choices
+          are *carried over* under the new fingerprint (counter
+          ``tuning.tuned_spmm.carryovers``), so a stream of small edge
+          updates keeps serving the previously tuned kernel with zero
+          tuner invocations;
+        * drift crossing a threshold — the stale choices are dropped and
+          the next :meth:`run`/:meth:`estimate` re-selects lazily
+          (counter ``tuning.tuned_spmm.reselections`` with the crossed
+          threshold as the ``reason`` label).
+
+        Returns True when a re-selection was triggered.  An empty delta
+        (``old`` and ``new`` share a fingerprint) is a trivial no-op.
+        """
+        from repro.sparse.stats import structural_drift  # late: avoid cycle
+
+        old_fp, new_fp = old.fingerprint(), new.fingerprint()
+        if old_fp == new_fp:
+            return False
+        drift = structural_drift(old, new)
+        reason = thresholds.crossed(drift)
+        moved = [k for k in self._choice if k[0] == old_fp]
+        registry = obs.get_registry()
+        if reason is None:
+            for k in moved:
+                self._choice[(new_fp,) + k[1:]] = self._choice.pop(k)
+            if moved:
+                registry.counter("tuning.tuned_spmm.carryovers").inc(len(moved))
+            return False
+        for k in moved:
+            del self._choice[k]
+        registry.counter("tuning.tuned_spmm.reselections", reason=reason).inc()
+        return True

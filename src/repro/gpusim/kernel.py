@@ -41,6 +41,7 @@ __all__ = [
     "SpMMKernel",
     "KernelCounts",
     "clear_estimate_memo",
+    "invalidate_estimates_for",
     "set_estimate_memo_limit",
     "get_estimate_memo_limit",
 ]
@@ -65,6 +66,26 @@ def clear_estimate_memo() -> None:
     """Reset the process-wide estimate memo (tests, long-lived hosts)."""
     with _ESTIMATE_MEMO_LOCK:
         _ESTIMATE_MEMO.clear()
+
+
+def invalidate_estimates_for(fingerprint: str) -> int:
+    """Drop every memoized estimate keyed on one matrix fingerprint.
+
+    The targeted alternative to :func:`clear_estimate_memo` for dynamic
+    graphs (``repro.sparse.delta``): when a matrix version is superseded,
+    only its entries — ``key[1]`` is the fingerprint component — are
+    reclaimed; every other matrix's estimates stay warm.  Returns the
+    number dropped (also counted as ``kernel.estimate_memo.invalidations``).
+    """
+    with _ESTIMATE_MEMO_LOCK:
+        stale = [k for k in _ESTIMATE_MEMO if k[1] == fingerprint]
+        for k in stale:
+            del _ESTIMATE_MEMO[k]
+    if stale:
+        obs.get_registry().counter("kernel.estimate_memo.invalidations").inc(
+            len(stale)
+        )
+    return len(stale)
 
 
 def set_estimate_memo_limit(limit: Optional[int]) -> Optional[int]:

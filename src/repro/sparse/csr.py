@@ -99,10 +99,11 @@ class CSRMatrix:
     def ncols(self) -> int:
         return self.shape[1]
 
-    def _cached(self, key: str, build: Callable[[], np.ndarray]) -> np.ndarray:
-        """Lazy derived-array cache.  Arrays are built once, marked
-        read-only (they are shared across callers), and re-served on every
-        later access; hits/misses surface as ``csr.derived_cache.*``."""
+    def _cached(self, key: str, build: Callable[[], "np.ndarray | str"]):
+        """Lazy derived-artifact cache.  Artifacts are built once (arrays
+        are marked read-only — they are shared across callers) and
+        re-served on every later access; hits/misses surface as
+        ``csr.derived_cache.*``."""
         from repro import obs  # late: csr is the substrate everything imports
 
         cache = self._derived
@@ -112,9 +113,24 @@ class CSRMatrix:
             return arr
         obs.get_registry().counter("csr.derived_cache.misses", array=key).inc()
         arr = build()
-        arr.setflags(write=False)
+        if isinstance(arr, np.ndarray):
+            arr.setflags(write=False)
         cache[key] = arr
         return arr
+
+    def _seed_derived(self, key: str, value) -> None:
+        """Install a derived artifact computed out-of-band (the delta
+        path builds them incrementally while splicing the new matrix
+        together — see :mod:`repro.sparse.delta`).  Seeded artifacts must
+        be exactly what the lazy builder would produce; the parity suite
+        enforces this.  Counted as ``csr.derived_cache.seeded`` so cache
+        hit-rate reports can distinguish seeded from built entries."""
+        from repro import obs  # late: csr is the substrate everything imports
+
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        self._derived[key] = value
+        obs.get_registry().counter("csr.derived_cache.seeded", array=key).inc()
 
     def row_lengths(self) -> np.ndarray:
         """``int64[M]`` number of stored elements per row (out-degrees).
@@ -146,17 +162,26 @@ class CSRMatrix:
 
         Two structurally identical matrices share a fingerprint regardless
         of identity — the graph component of the sweep and kernel-estimate
-        memo keys (``docs/PERFORMANCE.md``).  Cached after first use.
+        memo keys (``docs/PERFORMANCE.md``).  Cached after first use via
+        the same counter discipline as the derived arrays, so fingerprint
+        builds show up in ``csr.derived_cache.hits/misses``.
+
+        Delta-applied matrices (:func:`repro.sparse.delta.apply_delta`)
+        deliberately leave this lazy rather than chaining parent hashes:
+        the full rehash on first use keeps the print a pure function of
+        content, so a delta-built matrix shares memo/DiskCache entries
+        with a content-identical from-scratch build and false sharing is
+        impossible by construction (see docs/PERFORMANCE.md "Dynamic
+        graphs").
         """
-        cached = self._derived.get("fingerprint")
-        if cached is None:
-            h = hashlib.blake2b(digest_size=16)
-            h.update(repr(self.shape).encode())
-            for arr in (self.rowptr, self.colind, self.values):
-                h.update(arr.tobytes())
-            cached = h.hexdigest()
-            self._derived["fingerprint"] = cached
-        return cached
+        return self._cached("fingerprint", self._compute_fingerprint)
+
+    def _compute_fingerprint(self) -> str:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr(self.shape).encode())
+        for arr in (self.rowptr, self.colind, self.values):
+            h.update(arr.tobytes())
+        return h.hexdigest()
 
     def clear_derived(self) -> int:
         """Drop every lazily built derived artifact in one call: the

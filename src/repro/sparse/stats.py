@@ -19,10 +19,12 @@ from repro.sparse.csr import CSRMatrix
 __all__ = [
     "MatrixProfile",
     "RowImbalance",
+    "StructuralDrift",
     "analyze",
     "graph_regime",
     "row_imbalance",
     "row_length_histogram",
+    "structural_drift",
     "gini",
 ]
 
@@ -78,6 +80,44 @@ def row_imbalance(a: CSRMatrix) -> RowImbalance:
     return RowImbalance(
         gini=gini(lengths),
         max_over_mean=float(lengths.max()) / mean if mean > 0 else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class StructuralDrift:
+    """How far one matrix version moved from another, in the quantities
+    that drive kernel selection (Yang–Buluç–Owens: the right kernel is a
+    function of the row-length distribution).
+
+    ``gini_delta`` is the absolute change of the row-length Gini
+    coefficient, ``max_over_mean_ratio`` the factor (always >= 1) by
+    which the longest-row/mean ratio moved in either direction, and
+    ``regime_changed`` whether :func:`graph_regime` relabeled the
+    matrix.  This is the gating statistic for
+    :meth:`repro.core.tuning.TunedSpMM.rekey_after_delta`: small edge
+    deltas barely move any of the three, so a previously tuned kernel
+    keeps serving; a hub forming (or dissolving) crosses the thresholds
+    and triggers a re-selection.
+    """
+
+    gini_delta: float
+    max_over_mean_ratio: float
+    regime_changed: bool
+
+
+def structural_drift(old: CSRMatrix, new: CSRMatrix) -> StructuralDrift:
+    """Compute the :class:`StructuralDrift` from ``old`` to ``new``.
+
+    O(M) over the cached row-length arrays — cheap enough to run on
+    every delta application.
+    """
+    a, b = row_imbalance(old), row_imbalance(new)
+    lo = min(a.max_over_mean, b.max_over_mean)
+    hi = max(a.max_over_mean, b.max_over_mean)
+    return StructuralDrift(
+        gini_delta=abs(b.gini - a.gini),
+        max_over_mean_ratio=hi / lo if lo > 0 else (1.0 if hi == 0 else float("inf")),
+        regime_changed=graph_regime(old) != graph_regime(new),
     )
 
 

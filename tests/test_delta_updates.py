@@ -1,0 +1,442 @@
+"""Parity suite for repro.sparse.delta — incremental CSR mutation.
+
+The contract (docs/PERFORMANCE.md "Dynamic graphs"): a matrix built by
+``apply_delta`` is **indistinguishable** from a from-scratch build of
+the same edge set — identical raw arrays, identical derived arrays
+(including the seeded ones), identical incrementally-evolved
+:class:`AccessProfile` state, and identical content fingerprint, which
+makes the effective estimate/sweep memo keys byte-equal.  Hypothesis
+drives random insert/delete/update batches against a from-scratch
+oracle; directed tests cover the documented failure modes (duplicate
+edges, missing edges, out-of-range indices, non-canonical rows) and the
+threshold-gated re-tuning / targeted-invalidation plumbing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.core.access_profile import access_profile
+from repro.core.tuning import RetuneThresholds, TunedSpMM
+from repro.gpusim.config import GTX_1080TI
+from repro.gpusim.kernel import clear_estimate_memo
+from repro.obs.metrics import MetricsRegistry
+from repro.sparse import (
+    CSRMatrix,
+    EdgeDelta,
+    apply_delta,
+    csr_from_coo,
+    invalidate_matrix_caches,
+    power_law,
+    structural_drift,
+)
+
+PROFILE_ARRAYS = ("_pl_phase", "_pl_len", "_pl_count", "_colind_mod8")
+PROFILE_SCALARS = ("nnz", "nrows", "ncols", "occupied_rows", "unique_b_columns")
+
+
+# ----------------------------------------------------------------------
+# Strategies: a random base matrix plus a random valid delta against it
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def matrix_and_delta(draw, max_m=30, max_k=30, max_nnz=150):
+    m = draw(st.integers(1, max_m))
+    k = draw(st.integers(1, max_k))
+    nnz = draw(st.integers(0, min(max_nnz, m * k)))
+    seed = draw(st.integers(0, 2**20))
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, m, size=nnz)
+    cols = rng.integers(0, k, size=nnz)
+    vals = rng.standard_normal(nnz).astype(np.float32)
+    a = csr_from_coo(rows, cols, vals, shape=(m, k), sum_duplicates=True)
+
+    # Partition the stored edges into delete / update / keep, and draw
+    # inserts from the absent slots.
+    n_del = draw(st.integers(0, a.nnz))
+    n_upd = draw(st.integers(0, a.nnz - n_del))
+    perm = rng.permutation(a.nnz)
+    del_idx, upd_idx = perm[:n_del], perm[n_del : n_del + n_upd]
+
+    present = np.zeros(m * k, dtype=bool)
+    present[a.coo_rows() * k + a.colind64()] = True
+    absent = np.flatnonzero(~present)
+    n_ins = draw(st.integers(0, min(absent.size, 40)))
+    ins_flat = rng.choice(absent, size=n_ins, replace=False)
+
+    delta = EdgeDelta.new(
+        inserts=(
+            ins_flat // k,
+            ins_flat % k,
+            rng.standard_normal(n_ins).astype(np.float32),
+        ),
+        deletes=(a.coo_rows()[del_idx], a.colind64()[del_idx]),
+        updates=(
+            a.coo_rows()[upd_idx],
+            a.colind64()[upd_idx],
+            rng.standard_normal(n_upd).astype(np.float32),
+        ),
+    )
+    return a, delta, del_idx, upd_idx
+
+
+def rebuild_oracle(a, delta, del_idx, upd_idx):
+    """From-scratch build of the delta-applied edge set."""
+    keep = np.ones(a.nnz, dtype=bool)
+    keep[del_idx] = False
+    vals = a.values.copy()
+    vals[upd_idx] = delta.update_values[
+        np.lexsort((a.colind64()[upd_idx], a.coo_rows()[upd_idx])).argsort()
+    ]
+    return csr_from_coo(
+        np.concatenate([a.coo_rows()[keep], delta.insert_rows]),
+        np.concatenate([a.colind64()[keep], delta.insert_cols]),
+        np.concatenate([vals[keep], delta.insert_values]),
+        shape=a.shape,
+    )
+
+
+def assert_full_parity(out, ref):
+    """out (delta-built) must be indistinguishable from ref (scratch)."""
+    assert np.array_equal(out.rowptr, ref.rowptr)
+    assert np.array_equal(out.colind, ref.colind)
+    assert np.array_equal(out.values, ref.values)
+    for derived in ("rowptr64", "row_lengths", "colind64", "coo_rows"):
+        assert np.array_equal(getattr(out, derived)(), getattr(ref, derived)())
+    # Content fingerprint equality == effective memo-key equality: the
+    # fingerprint is the only matrix-dependent key component.
+    assert out.fingerprint() == ref.fingerprint()
+
+
+def assert_profile_parity(out, ref):
+    p_out, p_ref = access_profile(out), access_profile(ref)
+    for attr in PROFILE_ARRAYS:
+        assert np.array_equal(getattr(p_out, attr), getattr(p_ref, attr)), attr
+    for attr in PROFILE_SCALARS:
+        assert getattr(p_out, attr) == getattr(p_ref, attr), attr
+
+
+# ----------------------------------------------------------------------
+# Hypothesis parity: delta-applied == from-scratch, bit for bit
+# ----------------------------------------------------------------------
+
+
+@given(matrix_and_delta())
+@settings(max_examples=60, deadline=None)
+def test_delta_matches_from_scratch(case):
+    a, delta, del_idx, upd_idx = case
+    # Pre-warm everything the delta path patches incrementally.
+    a.colind64(), a.coo_rows(), access_profile(a)
+    out = apply_delta(a, delta)
+    ref = rebuild_oracle(a, delta, del_idx, upd_idx)
+    assert_full_parity(out, ref)
+    assert_profile_parity(out, ref)
+
+
+@given(matrix_and_delta())
+@settings(max_examples=30, deadline=None)
+def test_delta_without_prewarmed_derived_state(case):
+    """Cold parents (no cached colind64/coo_rows/profile) still produce
+    correct successors — the optional seeds are just skipped."""
+    a, delta, del_idx, upd_idx = case
+    out = apply_delta(a, delta)
+    ref = rebuild_oracle(a, delta, del_idx, upd_idx)
+    assert_full_parity(out, ref)
+    assert_profile_parity(out, ref)  # both built from scratch here
+
+
+@given(matrix_and_delta())
+@settings(max_examples=30, deadline=None)
+def test_delta_chain_stays_canonical(case):
+    """A second delta applied on top of a delta-built matrix sees
+    canonical rows (the merge must emit column-sorted segments)."""
+    a, delta, del_idx, upd_idx = case
+    access_profile(a)
+    mid = apply_delta(a, delta)
+    rng = np.random.default_rng(7)
+    if mid.nnz == 0:
+        return
+    i = rng.integers(0, mid.nnz, size=min(3, mid.nnz))
+    i = np.unique(i)
+    second = EdgeDelta.new(deletes=(mid.coo_rows()[i], mid.colind64()[i]))
+    out = apply_delta(mid, second)
+    keep = np.ones(mid.nnz, dtype=bool)
+    keep[i] = False
+    ref = csr_from_coo(
+        mid.coo_rows()[keep], mid.colind64()[keep], mid.values[keep],
+        shape=mid.shape,
+    )
+    assert_full_parity(out, ref)
+    assert_profile_parity(out, ref)
+
+
+# ----------------------------------------------------------------------
+# Directed edge cases
+# ----------------------------------------------------------------------
+
+
+def small_matrix():
+    rows = [0, 0, 1, 3, 3, 3]
+    cols = [1, 3, 0, 0, 2, 4]
+    vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    return csr_from_coo(rows, cols, vals, shape=(4, 5))
+
+
+def test_empty_delta_is_identity():
+    a = small_matrix()
+    assert apply_delta(a, EdgeDelta.new()) is a
+    assert EdgeDelta.new().is_empty
+
+
+def test_row_emptying_delete():
+    a = small_matrix()
+    access_profile(a)
+    delta = EdgeDelta.new(deletes=([3, 3, 3], [0, 2, 4]))
+    out = apply_delta(a, delta)
+    assert out.row_lengths()[3] == 0
+    ref = csr_from_coo([0, 0, 1], [1, 3, 0], [1.0, 2.0, 3.0], shape=(4, 5))
+    assert_full_parity(out, ref)
+    assert_profile_parity(out, ref)
+
+
+def test_insert_into_empty_row_and_empty_matrix():
+    a = small_matrix()
+    access_profile(a)
+    out = apply_delta(a, EdgeDelta.new(inserts=([2, 2], [1, 4], [7.0, 8.0])))
+    assert out.row_lengths()[2] == 2
+    empty = csr_from_coo([], [], [], shape=(3, 3))
+    access_profile(empty)
+    grown = apply_delta(empty, EdgeDelta.new(inserts=([1], [2], [9.0])))
+    ref = csr_from_coo([1], [2], [9.0], shape=(3, 3))
+    assert_full_parity(grown, ref)
+    assert_profile_parity(grown, ref)
+
+
+def test_duplicate_edge_within_batch_rejected():
+    with pytest.raises(ValueError, match="more than once"):
+        EdgeDelta.new(inserts=([0, 0], [1, 1], [1.0, 2.0]))
+    with pytest.raises(ValueError, match="more than once"):
+        EdgeDelta.new(inserts=([0], [1], [1.0]), deletes=([0], [1]))
+
+
+def test_insert_colliding_with_stored_edge_rejected():
+    a = small_matrix()
+    with pytest.raises(ValueError, match="duplicate edge"):
+        apply_delta(a, EdgeDelta.new(inserts=([0], [1], [9.0])))
+
+
+def test_delete_and_update_of_missing_edge_rejected():
+    a = small_matrix()
+    with pytest.raises(ValueError, match="not stored"):
+        apply_delta(a, EdgeDelta.new(deletes=([0], [0])))
+    with pytest.raises(ValueError, match="not stored"):
+        apply_delta(a, EdgeDelta.new(updates=([2], [2], [1.0])))
+
+
+def test_out_of_range_indices_rejected():
+    a = small_matrix()
+    with pytest.raises(ValueError, match="out of range"):
+        apply_delta(a, EdgeDelta.new(inserts=([4], [0], [1.0])))
+    with pytest.raises(ValueError, match="out of range"):
+        apply_delta(a, EdgeDelta.new(deletes=([0], [5])))
+    with pytest.raises(ValueError, match="non-negative"):
+        EdgeDelta.new(inserts=([-1], [0], [1.0]))
+
+
+def test_non_canonical_touched_rows_rejected():
+    # Duplicate column inside a touched row: the delta path cannot merge
+    # against an ambiguous segment.
+    a = CSRMatrix(
+        (2, 4),
+        np.array([0, 2, 2], dtype=np.int64),
+        np.array([1, 1], dtype=np.int32),
+        np.array([1.0, 2.0], dtype=np.float32),
+    )
+    with pytest.raises(ValueError, match="not canonical"):
+        apply_delta(a, EdgeDelta.new(inserts=([0], [3], [1.0])))
+
+
+def test_immutability_of_parent():
+    a = small_matrix()
+    before = (a.rowptr.copy(), a.colind.copy(), a.values.copy(), a.fingerprint())
+    out = apply_delta(a, EdgeDelta.new(deletes=([0], [1])))
+    assert out is not a
+    assert np.array_equal(a.rowptr, before[0])
+    assert np.array_equal(a.colind, before[1])
+    assert np.array_equal(a.values, before[2])
+    assert a.fingerprint() == before[3]
+
+
+# ----------------------------------------------------------------------
+# Counters and fingerprint caching (the _cached-path fix)
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_counts_as_derived_cache_traffic():
+    prev = obs.set_registry(MetricsRegistry())
+    try:
+        a = small_matrix()
+        a.fingerprint()
+        a.fingerprint()
+        reg = obs.get_registry()
+        assert reg.counter("csr.derived_cache.misses", array="fingerprint").value == 1
+        assert reg.counter("csr.derived_cache.hits", array="fingerprint").value == 1
+    finally:
+        obs.set_registry(prev)
+
+
+def test_delta_counters_and_seeding():
+    prev = obs.set_registry(MetricsRegistry())
+    try:
+        a = small_matrix()
+        a.colind64(), a.coo_rows(), access_profile(a)
+        apply_delta(
+            a,
+            EdgeDelta.new(
+                inserts=([2], [0], [1.0]),
+                deletes=([0], [1]),
+                updates=([1], [0], [5.0]),
+            ),
+        )
+        reg = obs.get_registry()
+        assert reg.counter("delta.applied").value == 1
+        assert reg.counter("delta.edges", kind="insert").value == 1
+        assert reg.counter("delta.edges", kind="delete").value == 1
+        assert reg.counter("delta.edges", kind="update").value == 1
+        assert reg.counter("delta.rows_touched").value == 3
+        assert reg.counter("delta.profile.updated").value == 1
+        # All four derived arrays plus the evolved profile were seeded,
+        # not rebuilt.
+        for key in ("rowptr64", "row_lengths", "colind64", "coo_rows"):
+            assert reg.counter("csr.derived_cache.seeded", array=key).value == 1
+        assert reg.counter("access_profile.seeded").value == 1
+    finally:
+        obs.set_registry(prev)
+
+
+# ----------------------------------------------------------------------
+# Memo-key sharing and targeted invalidation
+# ----------------------------------------------------------------------
+
+
+def test_delta_built_matrix_shares_memo_with_scratch_build():
+    """The estimate memo is keyed on content: a scratch rebuild of a
+    delta-applied matrix must *hit* entries the delta version created."""
+    from repro.core.crc import CRCSpMM
+
+    prev = obs.set_registry(MetricsRegistry())
+    try:
+        clear_estimate_memo()
+        a = small_matrix()
+        out = apply_delta(a, EdgeDelta.new(deletes=([0], [1])))
+        ref = csr_from_coo([0, 1, 3, 3, 3], [3, 0, 0, 2, 4],
+                           [2.0, 3.0, 4.0, 5.0, 6.0], shape=(4, 5))
+        kernel = CRCSpMM()
+        kernel.estimate(out, 32, GTX_1080TI)
+        kernel.estimate(ref, 32, GTX_1080TI)  # same content -> memo hit
+        reg = obs.get_registry()
+        assert reg.counter(
+            "kernel.estimate_memo.hits", kernel=kernel.name, gpu=GTX_1080TI.name
+        ).value == 1
+    finally:
+        clear_estimate_memo()
+        obs.set_registry(prev)
+
+
+def test_invalidate_matrix_caches_is_targeted():
+    from repro.core.crc import CRCSpMM
+
+    prev = obs.set_registry(MetricsRegistry())
+    try:
+        clear_estimate_memo()
+        a = power_law(300, 1800, seed=5)
+        b = power_law(300, 1800, seed=6)
+        kernel = CRCSpMM()
+        kernel.estimate(a, 32, GTX_1080TI)
+        kernel.estimate(b, 32, GTX_1080TI)
+        dropped = invalidate_matrix_caches(a)
+        assert dropped["estimate_memo"] == 1
+        # b's entry survived: a re-estimate is a memo hit, not a rebuild.
+        kernel.estimate(b, 32, GTX_1080TI)
+        reg = obs.get_registry()
+        assert reg.counter(
+            "kernel.estimate_memo.hits", kernel=kernel.name, gpu=GTX_1080TI.name
+        ).value == 1
+        assert reg.counter("delta.invalidated", store="estimate_memo").value == 1
+    finally:
+        clear_estimate_memo()
+        obs.set_registry(prev)
+
+
+# ----------------------------------------------------------------------
+# Threshold-gated re-tuning
+# ----------------------------------------------------------------------
+
+
+def test_rekey_carries_over_below_thresholds():
+    prev = obs.set_registry(MetricsRegistry())
+    try:
+        a = power_law(400, 3200, seed=11)
+        access_profile(a)
+        tuned = TunedSpMM()
+        b = np.ones((a.ncols, 16), dtype=np.float32)
+        tuned.run(a, b)
+        rng = np.random.default_rng(3)
+        i = rng.choice(a.nnz, size=4, replace=False)
+        out = apply_delta(
+            a, EdgeDelta.new(deletes=(a.coo_rows()[i], a.colind64()[i]))
+        )
+        assert tuned.rekey_after_delta(a, out) is False
+        reg = obs.get_registry()
+        assert reg.counter("tuning.tuned_spmm.carryovers").value == 1
+        # The carried-over key serves without re-tuning.
+        tuned.run(out, b)
+        assert reg.counter(
+            "tuning.tuned_spmm.lookups", cached=True, gpu=GTX_1080TI.name
+        ).value >= 1
+    finally:
+        obs.set_registry(prev)
+
+
+def test_rekey_reselects_on_structural_break():
+    prev = obs.set_registry(MetricsRegistry())
+    try:
+        a = power_law(200, 1200, seed=13)
+        tuned = TunedSpMM()
+        b = np.ones((a.ncols, 16), dtype=np.float32)
+        tuned.run(a, b)
+        # Grow a hub: pile a large batch of edges onto one row.
+        cols_present = set(a.colind64()[a.coo_rows() == 0].tolist())
+        new_cols = [c for c in range(a.ncols) if c not in cols_present][:150]
+        hub = EdgeDelta.new(
+            inserts=(
+                np.zeros(len(new_cols), dtype=np.int64),
+                np.array(new_cols),
+                np.ones(len(new_cols), dtype=np.float32),
+            )
+        )
+        out = apply_delta(a, hub)
+        drift = structural_drift(a, out)
+        assert drift.max_over_mean_ratio > 1.0
+        assert tuned.rekey_after_delta(
+            a, out, RetuneThresholds(gini_delta=1e-6, max_over_mean_ratio=1.0001)
+        ) is True
+        reg = obs.get_registry()
+        total = sum(
+            s["value"]
+            for s in reg.snapshot()
+            if s["name"] == "tuning.tuned_spmm.reselections"
+        )
+        assert total == 1
+        # Stale choices are gone: next run re-tunes under the new key.
+        assert all(k[0] != a.fingerprint() for k in tuned._choice)
+    finally:
+        obs.set_registry(prev)
+
+
+def test_rekey_is_noop_for_identical_fingerprints():
+    tuned = TunedSpMM()
+    a = small_matrix()
+    assert tuned.rekey_after_delta(a, a) is False
