@@ -13,13 +13,18 @@ bench:
 
 # Host-executor microbenchmark: segmented-reduction engine vs. the
 # preserved scatter oracles (see docs/PERFORMANCE.md "Host executor"),
-# plus the incremental-delta bench (see "Dynamic graphs").  Separate
-# pytest invocations: each file's timings assume a fresh process heap
-# (the rebuild loops leave glibc in a state that taxes later timings).
-# Asserts the speedup floors and records timings under the gate-ignored
-# run.host.microbench block of BENCH_spmm.json.
+# the incremental-delta bench (see "Dynamic graphs"), and the tiled
+# executor's strict peak-memory + wide-N throughput floors (see "Tiled
+# execution & operand batching").  Separate pytest invocations: each
+# file's timings assume a fresh process heap (the rebuild loops leave
+# glibc in a state that taxes later timings); the delta and tiled
+# benches additionally isolate each measurement in a subprocess with
+# pinned malloc thresholds.  Asserts the speedup floors and records
+# timings under the gate-ignored run.host.microbench block of
+# BENCH_spmm.json.
 microbench:
 	PYTHONPATH=src python -m pytest benchmarks/bench_delta_updates.py -q --durations=5 --override-ini "addopts=-q"
+	PYTHONPATH=src python -m pytest benchmarks/bench_tiled_memory.py -q --durations=5 --override-ini "addopts=-q"
 	PYTHONPATH=src python -m pytest benchmarks/bench_host_executor.py -q --durations=5 --override-ini "addopts=-q"
 
 examples:

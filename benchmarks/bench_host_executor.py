@@ -23,7 +23,14 @@ vs. engine-on with interleaved reps:
 * a 1000-matrix generator-defined corpus stream in 10 shards, asserting
   the per-shard ``tracemalloc`` peak stays **flat** (later shards within
   2x of the first) — the bounded-memory contract of
-  ``repro.bench.corpus.run_corpus_sweep``.
+  ``repro.bench.corpus.run_corpus_sweep``,
+* the column-tiled executor at wide N (256): tiled vs. untiled engine
+  body, asserted **>= 1.5x** (typical ~3-4x — the O(nnz*N) contributions
+  temporary stops thrashing the LLC),
+* the tiled executor's transient peak memory at N=64 vs. N=1024,
+  asserted **flat** (wide within 2x of narrow; the untiled ratio ~16x is
+  recorded alongside for contrast).  The strict subprocess-isolated
+  version of this floor is ``bench_tiled_memory.py``'s.
 
 Results are written to ``benchmarks/results/`` and recorded in
 ``BENCH_spmm.json`` under ``run.host.microbench``, a block the
@@ -56,6 +63,13 @@ MIN_DELTA_APPLY_GUARD = 3.0
 #: shards within 2x of the first (typical ~1.1-1.3x from registry/label
 #: growth; a matrix or memo leak across shards pushes it well past 2).
 MAX_CORPUS_PEAK_RATIO = 2.0
+#: Column-tiled executor at N=256 vs. the untiled engine body (typical
+#: ~3-4x on the 400k-edge power-law graph; generous margin for noise).
+MIN_TILED_WIDE_SPEEDUP = 1.5
+#: Tiled transient peak at N=1024 vs. N=64 must stay flat (typical
+#: ~1.0x: the workspace is O(nnz*T) regardless of N; the untiled ratio
+#: is ~16x on the same graph).
+MAX_TILED_PEAK_RATIO = 2.0
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_spmm.json"
 
@@ -109,6 +123,19 @@ def test_host_executor_microbench(benchmark, emit):
     assert da["speedup"] >= MIN_DELTA_APPLY_GUARD, (
         f"incremental delta apply speedup {da['speedup']:.2f}x below the "
         f"{MIN_DELTA_APPLY_GUARD}x regression guard"
+    )
+    # Column-tiled executor: wide-N throughput and flat peak memory.
+    ts = results["tiled_spmm"]["speedup"]
+    assert ts >= MIN_TILED_WIDE_SPEEDUP, (
+        f"tiled wide-N SpMM speedup {ts:.2f}x below the "
+        f"{MIN_TILED_WIDE_SPEEDUP}x floor (N={results['tiled_spmm']['n']}, "
+        f"tile={results['tiled_spmm']['tile_width']})"
+    )
+    tp = results["tiled_peak"]
+    assert tp["tiled"]["peak_ratio"] <= MAX_TILED_PEAK_RATIO, (
+        f"tiled SpMM transient peak grew {tp['tiled']['peak_ratio']:.2f}x "
+        f"from N={tp['narrow_n']} to N={tp['wide_n']} (cap "
+        f"{MAX_TILED_PEAK_RATIO}x) — the workspace is no longer O(nnz*T)"
     )
     # The raw reduction swaps must at least not regress.
     assert results["spmm_plus"]["speedup"] >= 0.9

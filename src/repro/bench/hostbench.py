@@ -50,6 +50,8 @@ __all__ = [
     "bench_delta_apply",
     "bench_disk_cache_sweep",
     "bench_corpus_stream",
+    "bench_tiled_spmm",
+    "bench_tiled_peak",
     "format_result_line",
     "run_host_microbench",
     "update_bench_json_host",
@@ -464,6 +466,124 @@ def bench_corpus_stream(
     }
 
 
+#: Tiled-executor benchmark graph: wide features (N=256) on a power-law
+#: graph whose (nnz, N) contributions array blows past the LLC — the
+#: regime the column-tiled executor targets (the host analogue of the
+#: paper's Coarse-grained Warp Merging: load the sparse row once, reuse
+#: it across feature tiles).
+_TILED_M, _TILED_NNZ, _TILED_N = 10_000, 400_000, 256
+#: Peak-memory benchmark graph + widths: the tiled executor's transient
+#: footprint is O(nnz*T) regardless of N, so the wide/narrow peak ratio
+#: must stay near 1 where the untiled path's grows like wide/narrow.
+_PEAK_M, _PEAK_NNZ = 10_000, 100_000
+_PEAK_NARROW, _PEAK_WIDE = 64, 1024
+
+
+def bench_tiled_spmm(
+    m: int = _TILED_M, nnz: int = _TILED_NNZ, n: int = _TILED_N, reps: int = 5
+) -> Dict[str, Any]:
+    """Column-tiled vs. untiled wide-N SpMM (engine on for both sides).
+
+    Interleaved best-of under the tiling toggle, same discipline as
+    :func:`_toggle_times`; the untiled side is the pre-tiling engine body
+    (one O(nnz*N) contributions temporary), the tiled side streams
+    ``tile_width_for``-sized column tiles through the pooled workspace.
+    """
+    from repro.sparse.segment import tile_width_for, use_tiling
+
+    a = _bench_graph(m, nnz, seed=5)
+    b = np.random.default_rng(1).standard_normal((a.ncols, n)).astype(np.float32)
+    fn = lambda: reference_spmm_like(a, b, PLUS_TIMES)
+    best = {False: float("inf"), True: float("inf")}
+    for tiled in (False, True):
+        with use_tiling(tiled):
+            fn()
+    for _ in range(reps):
+        for tiled in (False, True):
+            with use_tiling(tiled):
+                t0 = time.perf_counter()
+                fn()
+                best[tiled] = min(best[tiled], time.perf_counter() - t0)
+    untiled_s, tiled_s = best[False], best[True]
+    return {
+        "graph": {"kind": "power_law", "m": m, "nnz": int(a.nnz)},
+        "n": n,
+        "tile_width": tile_width_for(a.nnz, n),
+        "untiled_s": untiled_s,
+        "tiled_s": tiled_s,
+        "speedup": untiled_s / tiled_s if tiled_s > 0 else float("inf"),
+    }
+
+
+def bench_tiled_peak(
+    m: int = _PEAK_M,
+    nnz: int = _PEAK_NNZ,
+    narrow: int = _PEAK_NARROW,
+    wide: int = _PEAK_WIDE,
+) -> Dict[str, Any]:
+    """Transient peak memory of one SpMM at a narrow vs. a wide N.
+
+    ``tracemalloc`` traces only the call itself: the operand and the
+    output are preallocated outside the traced window (the serving-layer
+    steady state ``segment_spmm_like``'s ``out=`` exists for), and the
+    workspace pool is cleared before each measurement so every width pays
+    its own workspace allocation.  Tiled peaks are O(nnz*T) — flat in N —
+    so ``tiled.peak_ratio`` stays near 1 while ``untiled.peak_ratio``
+    tracks ``wide / narrow`` (~16x at the defaults).
+    """
+    import tracemalloc
+
+    from repro.sparse.segment import (
+        clear_workspace_pool,
+        segment_spmm_like,
+        use_tiling,
+    )
+
+    a = _bench_graph(m, nnz, seed=6)
+    # Derived arrays (colind64, rowptr64, row_lengths) are process-lived
+    # caches, not per-call transients: build them outside the window.
+    a.colind64(), a.rowptr64(), a.row_lengths(), a.coo_rows()
+    rng = np.random.default_rng(2)
+    operands = {
+        n: (
+            rng.standard_normal((a.ncols, n)).astype(np.float32),
+            np.empty((a.nrows, n), dtype=np.float32),
+        )
+        for n in (narrow, wide)
+    }
+
+    def peak_bytes(n: int, tiled: bool) -> int:
+        b, out = operands[n]
+        clear_workspace_pool()
+        started = not tracemalloc.is_tracing()
+        if started:
+            tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            with use_tiling(tiled):
+                segment_spmm_like(a, b, PLUS_TIMES, out=out)
+            _cur, peak = tracemalloc.get_traced_memory()
+        finally:
+            if started:
+                tracemalloc.stop()
+        clear_workspace_pool()
+        return peak
+
+    result: Dict[str, Any] = {
+        "graph": {"kind": "power_law", "m": m, "nnz": int(a.nnz)},
+        "narrow_n": narrow,
+        "wide_n": wide,
+    }
+    for label, tiled in (("tiled", True), ("untiled", False)):
+        lo, hi = peak_bytes(narrow, tiled), peak_bytes(wide, tiled)
+        result[label] = {
+            "narrow_peak_bytes": lo,
+            "wide_peak_bytes": hi,
+            "peak_ratio": hi / lo if lo else float("inf"),
+        }
+    return result
+
+
 def run_host_microbench(
     reps: int = 5, train_reps: int = 3, epochs: int = 3
 ) -> Dict[str, Any]:
@@ -482,6 +602,8 @@ def run_host_microbench(
         "delta_apply": bench_delta_apply(),
         "spmm_plus": bench_spmm_like(PLUS_TIMES, reps=reps),
         "spmm_max": bench_spmm_like(MAX_TIMES, reps=reps),
+        "tiled_spmm": bench_tiled_spmm(reps=reps),
+        "tiled_peak": bench_tiled_peak(),
         "aggregate_max": bench_aggregate_max(),
         "gcn_train": bench_gcn_training(epochs=epochs, reps=train_reps),
         "count_grid": bench_count_grid(),
@@ -535,6 +657,10 @@ def main() -> int:  # pragma: no cover - convenience entry point
     print(f"disk_cache      cold {dc['cold_s'] * 1e3:8.2f} ms   "
           f"warm {dc['warm_s'] * 1e3:8.2f} ms   "
           f"misses {dc['warm_memo_misses']}  identical {dc['byte_identical']}")
+    tp = results["tiled_peak"]
+    print(f"tiled_peak      N {tp['narrow_n']}->{tp['wide_n']}   "
+          f"tiled ratio {tp['tiled']['peak_ratio']:.2f}x   "
+          f"untiled ratio {tp['untiled']['peak_ratio']:.2f}x")
     cs = results["corpus_stream"]
     print(f"corpus_stream   {cs['matrices']} matrices / {cs['shards']} shards "
           f"in {cs['wall_s']:.2f}s   peak ratio {cs['peak_ratio']:.2f} "

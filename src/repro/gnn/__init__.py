@@ -1,7 +1,7 @@
 """GNN framework substrate: autograd, layers, models, and the DGL/PyG
 aggregation backends GE-SpMM plugs into."""
 
-from repro.gnn.aggregate import GraphPair, aggregate_max, aggregate_sum
+from repro.gnn.aggregate import GraphPair, aggregate_max, aggregate_sum, aggregate_sum_multi
 from repro.gnn.device import OpProfile, SimDevice
 from repro.gnn.inference import (
     ScenarioResult,
@@ -20,6 +20,7 @@ from repro.gnn.training import Adam, TrainResult, evaluate_accuracy, train
 __all__ = [
     "GraphPair",
     "aggregate_sum",
+    "aggregate_sum_multi",
     "aggregate_max",
     "SimDevice",
     "OpProfile",

@@ -26,17 +26,17 @@ GE-SpMM swap-ins) differ.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.gnn.tensor import Tensor
 from repro.semiring import MAX_TIMES, PLUS_TIMES
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import reference_spmm_like
-from repro.sparse.segment import engine_enabled, segment_argmax, segment_reduce
+from repro.sparse.ops import reference_spmm_like, reference_spmm_like_multi
+from repro.sparse.segment import engine_enabled, segment_max_with_argmax
 
-__all__ = ["GraphPair", "aggregate_sum", "aggregate_max"]
+__all__ = ["GraphPair", "aggregate_sum", "aggregate_sum_multi", "aggregate_max"]
 
 
 class GraphPair:
@@ -94,10 +94,54 @@ def aggregate_sum(
     return Tensor(out, x.requires_grad, [x], backward if x.requires_grad else None, name=label)
 
 
+def aggregate_sum_multi(
+    g: GraphPair,
+    xs: Sequence[Tensor],
+    forward_cost: CostFn,
+    backward_cost: CostFn,
+    record: Callable[[str, float], None],
+    label: str = "SpMM",
+) -> List[Tensor]:
+    """K same-graph sum aggregations through one batched SpMM traversal.
+
+    The coalescing primitive for a multi-tenant serving layer: concurrent
+    requests against the same graph share the gather index work and the
+    pooled workspace (``segment_spmm_like_multi``), while each request
+    keeps its own autograd closure and its own simulated-kernel charge.
+    Outputs are byte-identical to per-request :func:`aggregate_sum`
+    calls.
+    """
+    outs = reference_spmm_like_multi(g.adj, [x.data for x in xs], PLUS_TIMES)
+    tensors: List[Tensor] = []
+    for x, out in zip(xs, outs):
+        n = x.data.shape[1]
+        record(label, forward_cost(g.adj, n))
+
+        def backward(grad: np.ndarray, x: Tensor = x, n: int = n) -> None:
+            record(label, backward_cost(g.adj_t, n))
+            if x.requires_grad:
+                x.accumulate_grad(reference_spmm_like(g.adj_t, grad, PLUS_TIMES))
+
+        tensors.append(
+            Tensor(out, x.requires_grad, [x], backward if x.requires_grad else None, name=label)
+        )
+    return tensors
+
+
 def _max_forward(adj: CSRMatrix, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Max-times forward returning (output, per-nonzero contributions)."""
-    out = reference_spmm_like(adj, x, MAX_TIMES)
+    """Max-times forward returning (output, per-nonzero contributions).
+
+    Gathers and scales once, then reduces those same contributions —
+    the scatter path's backward closure and its forward reduction share
+    one ``(nnz, N)`` array instead of materializing it twice.  The
+    reduction replicates ``scatter_oracle_spmm_like``'s max branch
+    verbatim (finalize is the identity for max-times), so the output is
+    bit-identical to the pre-fix ``reference_spmm_like`` call.
+    """
     contributions = adj.values[:, None] * x[adj.colind64()]
+    out = np.full((adj.nrows, x.shape[1]), MAX_TIMES.init, dtype=x.dtype)
+    if adj.nnz:
+        np.maximum.at(out, adj.coo_rows(), contributions)
     return out, contributions
 
 
@@ -152,16 +196,12 @@ def aggregate_max(
     if not engine_enabled():
         return _scatter_aggregate_max(g, x, backward_cost, record, label)
 
-    # Gather then scale in place: one (nnz, N) buffer, not two.
-    contributions = x.data[adj.colind64()]
-    np.multiply(contributions, adj.values[:, None], out=contributions)
-    out = segment_reduce(
-        contributions, adj.rowptr, np.maximum, MAX_TIMES.init
-    ).astype(x.data.dtype, copy=False)
-    # (M, N) int32 winner indices are all the backward needs; the
-    # (nnz, N) contributions die here instead of living in the closure.
-    argmax = segment_argmax(adj, contributions, row_max=out)
-    del contributions
+    # One tiled traversal: gather + scale + reduce + argmax per column
+    # tile inside the pooled O(nnz·T) workspace — the full (nnz, N)
+    # contributions array is never materialized, and the (M, N) int32
+    # winner indices are all the backward needs.
+    out, argmax = segment_max_with_argmax(adj, x.data)
+    out = out.astype(x.data.dtype, copy=False)
     out_clean = out.copy()
     out_clean[adj.row_lengths() == 0] = 0.0  # DGL convention
 

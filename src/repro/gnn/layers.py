@@ -53,8 +53,18 @@ class GCNLayer(_Layer):
 
     def __call__(self, backend: AggregationBackend, g: GraphPair, x: Tensor) -> Tensor:
         device = backend.device
-        h = F.matmul(x, self.w, device)  # project first: cheaper SpMM width
-        h = backend.aggregate(g.sym_normalized_with_loops(), h, op="sum")
+        in_dim, out_dim = self.w.data.shape
+        # A_hat (X W) == (A_hat X) W: order the projection so the SpMM
+        # always runs at the narrower of the two widths.  Project first
+        # when W shrinks the features (the classic input layer); widen
+        # after aggregating when out_dim > in_dim (decoder-style layers),
+        # so the wider width is never charged to the aggregation kernel.
+        if out_dim <= in_dim:
+            h = F.matmul(x, self.w, device)
+            h = backend.aggregate(g.sym_normalized_with_loops(), h, op="sum")
+        else:
+            h = backend.aggregate(g.sym_normalized_with_loops(), x, op="sum")
+            h = F.matmul(h, self.w, device)
         h = F.add_bias(h, self.b, device)
         return F.relu(h, device) if self.activation else h
 

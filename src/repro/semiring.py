@@ -66,15 +66,44 @@ class Semiring:
         (cuSPARSE csrmm2) support."""
         return self.name == "plus_times"
 
+    def combine_into(
+        self, a_vals: np.ndarray, b_rows: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """``combine`` writing into ``out``.
+
+        The tiled host executor (:mod:`repro.sparse.segment`) combines
+        gathered rows inside a reused workspace; for the shared multiply
+        every built-in semiring uses, this is a true in-place
+        ``np.multiply`` with no temporary.  User-defined combines fall
+        back to an allocate-then-copy, which stays O(workspace).
+        """
+        if self.combine is _mul:
+            return np.multiply(a_vals, b_rows, out=out)
+        res = self.combine(a_vals, b_rows)
+        if res is not out:
+            out[...] = res
+        return out
+
     def finalize(self, acc: np.ndarray, row_lengths: np.ndarray) -> np.ndarray:
         """Apply the mean post-scaling (no-op for non-mean semirings)."""
         if not self.mean:
             return acc
+        return acc * self._finalize_scale(acc, row_lengths)[:, None]
+
+    def finalize_into(self, acc: np.ndarray, row_lengths: np.ndarray) -> np.ndarray:
+        """In-place :meth:`finalize` — the same elementwise multiply, so
+        bit-identical, but writing into ``acc`` (caller-owned output
+        buffers in the tiled executor)."""
+        if not self.mean:
+            return acc
+        acc *= self._finalize_scale(acc, row_lengths)[:, None]
+        return acc
+
+    def _finalize_scale(self, acc: np.ndarray, row_lengths: np.ndarray) -> np.ndarray:
         lengths = np.asarray(row_lengths, dtype=acc.dtype)
-        scale = np.divide(
+        return np.divide(
             1.0, lengths, out=np.zeros_like(lengths, dtype=acc.dtype), where=lengths > 0
         )
-        return acc * scale[:, None]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Semiring({self.name})"

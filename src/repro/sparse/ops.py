@@ -14,7 +14,13 @@ from repro.semiring import PLUS_TIMES, Semiring
 from repro.sparse import segment
 from repro.sparse.csr import CSRMatrix, VALUE_DTYPE
 
-__all__ = ["reference_spmm", "reference_spmm_like", "reference_spmv", "flops_of_spmm"]
+__all__ = [
+    "reference_spmm",
+    "reference_spmm_like",
+    "reference_spmm_like_multi",
+    "reference_spmv",
+    "flops_of_spmm",
+]
 
 
 def reference_spmm(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
@@ -46,6 +52,22 @@ def reference_spmm_like(
     if segment.engine_enabled() and segment.reduce_ufunc(semiring) is not None:
         return segment.segment_spmm_like(a, b, semiring)
     return segment.scatter_oracle_spmm_like(a, b, semiring)
+
+
+def reference_spmm_like_multi(
+    a: CSRMatrix, bs, semiring: Semiring = PLUS_TIMES
+) -> list:
+    """Batched :func:`reference_spmm_like`: K same-graph dense operands
+    through one shared traversal (``segment_spmm_like_multi``) — the
+    feature-width-batching primitive a serving layer coalesces
+    concurrent same-graph requests onto.  Falls back to a per-operand
+    loop for user-defined reductions or a disabled engine; each output
+    is byte-identical to the corresponding single-operand call either
+    way.
+    """
+    if segment.engine_enabled() and segment.reduce_ufunc(semiring) is not None:
+        return segment.segment_spmm_like_multi(a, bs, semiring)
+    return [segment.scatter_oracle_spmm_like(a, b, semiring) for b in bs]
 
 
 def flops_of_spmm(a: CSRMatrix, n: int) -> int:

@@ -34,12 +34,32 @@ exact by construction.
 ``set_engine(False)`` / ``use_segment_engine(False)`` flip every routed
 call site back to the scatter oracles — used by the parity suite and by
 ``benchmarks/bench_host_executor.py`` to measure the speedup.
+
+Column tiling (the host analogue of GE-SpMM's coarse-grained warp
+merging, which reuses each loaded sparse row across feature tiles):
+``segment_spmm_like`` splits the dense operand into column tiles of
+width ``T`` and gathers + combines + reduces each tile inside a
+preallocated ``(nnz, T)`` workspace drawn from a per-process pool, so
+peak transient memory is O(nnz·T) instead of O(nnz·N) and the working
+set stays cache-resident on wide operands.  ``T`` adapts from an
+LLC-size heuristic (``REPRO_LLC_BYTES``), overridable via
+:func:`set_tile_width` / ``REPRO_TILE_WIDTH``.  Tiling columns never
+reorders a row's reduction, so the tiled path is **bit-identical** to
+the untiled one for every reduction (the parity suite asserts exact
+equality); ``set_tiling(False)`` / ``use_tiling(False)`` keep the
+untiled path available as the parity oracle and microbench baseline.
+``segment_spmm_like_multi`` runs K same-graph operands through one
+traversal sharing the pooled workspace and cached gather indices — the
+feature-width-batching primitive the serving layer coalesces concurrent
+requests onto.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +70,8 @@ from repro.sparse.csr import CSRMatrix, VALUE_DTYPE
 __all__ = [
     "segment_reduce",
     "segment_spmm_like",
+    "segment_spmm_like_multi",
+    "segment_max_with_argmax",
     "segment_argmax",
     "scatter_oracle_segment_reduce",
     "scatter_oracle_spmm_like",
@@ -58,6 +80,14 @@ __all__ = [
     "engine_enabled",
     "set_engine",
     "use_segment_engine",
+    "tiling_enabled",
+    "set_tiling",
+    "use_tiling",
+    "tile_width_for",
+    "set_tile_width",
+    "use_tile_width",
+    "clear_workspace_pool",
+    "workspace_stats",
 ]
 
 _ENGINE_ENABLED = True
@@ -84,6 +114,174 @@ def use_segment_engine(enabled: bool = True) -> Iterator[None]:
         yield
     finally:
         set_engine(prev)
+
+
+# ----------------------------------------------------------------------
+# Column-tiling controls
+# ----------------------------------------------------------------------
+
+_TILING_ENABLED = True
+
+#: Forced tile width; None means the adaptive LLC heuristic.  Seeded
+#: from ``REPRO_TILE_WIDTH`` at import, overridable at runtime.
+_TILE_WIDTH: Optional[int] = None
+if os.environ.get("REPRO_TILE_WIDTH"):
+    _TILE_WIDTH = max(1, int(os.environ["REPRO_TILE_WIDTH"]))
+
+#: Assumed last-level-cache size for the adaptive heuristic.  The
+#: workspace budget is a quarter of it: the gather workspace shares the
+#: LLC with the dense-operand tile, the reduction output, and whatever
+#: else the process keeps warm.  Deliberately a fixed constant (not
+#: probed) so tile choices — and therefore the bit-exact telemetry —
+#: are reproducible across hosts; override via ``REPRO_LLC_BYTES``.
+_LLC_BYTES = int(os.environ.get("REPRO_LLC_BYTES", 32 * 1024 * 1024))
+_WORKSPACE_BUDGET = _LLC_BYTES // 4
+
+
+def tiling_enabled() -> bool:
+    """True when ``segment_spmm_like`` runs the column-tiled executor."""
+    return _TILING_ENABLED
+
+
+def set_tiling(enabled: bool) -> bool:
+    """Enable/disable column tiling process-wide; returns the previous
+    state.  The untiled path is the tiled executor's parity oracle."""
+    global _TILING_ENABLED
+    prev = _TILING_ENABLED
+    _TILING_ENABLED = bool(enabled)
+    return prev
+
+
+@contextmanager
+def use_tiling(enabled: bool = True) -> Iterator[None]:
+    """Scoped tiling toggle (parity tests, microbench baselines)."""
+    prev = set_tiling(enabled)
+    try:
+        yield
+    finally:
+        set_tiling(prev)
+
+
+def set_tile_width(width: Optional[int]) -> Optional[int]:
+    """Force the tile width (None restores the adaptive heuristic);
+    returns the previous setting."""
+    global _TILE_WIDTH
+    prev = _TILE_WIDTH
+    _TILE_WIDTH = None if width is None else max(1, int(width))
+    return prev
+
+
+@contextmanager
+def use_tile_width(width: Optional[int]) -> Iterator[None]:
+    """Scoped :func:`set_tile_width`."""
+    prev = set_tile_width(width)
+    try:
+        yield
+    finally:
+        set_tile_width(prev)
+
+
+def tile_width_for(nnz: int, n: int) -> int:
+    """Tile width for an ``(nnz, n)`` contributions matrix.
+
+    Forced width (:func:`set_tile_width` / ``REPRO_TILE_WIDTH``) wins;
+    otherwise the width is the largest multiple of 8 (keeping the
+    argmax uint64 row-prefilter applicable) whose ``(nnz, T)`` float32
+    workspace fits the LLC budget, floored at 8 and capped at ``n``.
+    """
+    if _TILE_WIDTH is not None:
+        return max(1, min(_TILE_WIDTH, n)) if n else _TILE_WIDTH
+    if nnz <= 0 or n <= 0:
+        return max(n, 1)
+    t = _WORKSPACE_BUDGET // (4 * nnz)
+    if t >= n:
+        return n
+    return min(n, max(8, (t // 8) * 8))
+
+
+class _WorkspacePool:
+    """Per-process pool of flat float32 scratch buffers.
+
+    The tiled executor draws its ``(nnz, T)`` gather workspace and
+    ``(K, T)`` operand-tile buffer from here, so steady-state SpMM calls
+    allocate nothing: ``segment.workspace.reuses`` counts pool hits,
+    ``.allocs`` fresh buffers, and the ``segment.workspace.bytes_peak``
+    gauge tracks the high-water mark of pool-owned bytes.  Thread-safe
+    (sweep workers share the process pool); the free list is capped so
+    a one-off giant operand cannot pin memory forever.
+    """
+
+    _MAX_FREE = 4
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._free: List[np.ndarray] = []
+        self._owned_bytes = 0
+        self._peak_bytes = 0
+
+    def acquire(self, n_elems: int) -> np.ndarray:
+        n_elems = int(n_elems)
+        reg = obs.get_registry()
+        with self._lock:
+            best = -1
+            for i, buf in enumerate(self._free):
+                if buf.size >= n_elems and (best < 0 or buf.size < self._free[best].size):
+                    best = i
+            if best >= 0:
+                buf = self._free.pop(best)
+                reg.counter("segment.workspace.reuses").inc()
+                return buf
+        buf = np.empty(n_elems, dtype=VALUE_DTYPE)
+        with self._lock:
+            self._owned_bytes += buf.nbytes
+            self._peak_bytes = max(self._peak_bytes, self._owned_bytes)
+            peak = self._peak_bytes
+        reg.counter("segment.workspace.allocs").inc()
+        reg.gauge("segment.workspace.bytes_peak").set(peak)
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        with self._lock:
+            if len(self._free) < self._MAX_FREE:
+                self._free.append(buf)
+                return
+            # Full: keep the larger buffers, drop the smallest.
+            smallest = min(range(len(self._free)), key=lambda i: self._free[i].size)
+            if self._free[smallest].size < buf.size:
+                self._owned_bytes -= self._free[smallest].nbytes
+                self._free[smallest] = buf
+            else:
+                self._owned_bytes -= buf.nbytes
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._free)
+            for buf in self._free:
+                self._owned_bytes -= buf.nbytes
+            self._free.clear()
+        return dropped
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "free_buffers": len(self._free),
+                "owned_bytes": self._owned_bytes,
+                "peak_bytes": self._peak_bytes,
+            }
+
+
+_POOL = _WorkspacePool()
+
+
+def clear_workspace_pool() -> int:
+    """Drop the pool's free buffers (memory-bench isolation, shard
+    boundaries); returns the number dropped."""
+    return _POOL.clear()
+
+
+def workspace_stats() -> dict:
+    """Current pool occupancy: free buffer count, owned and peak bytes."""
+    return _POOL.stats()
 
 
 #: semiring ``reduce`` callable -> the ufunc whose ``reduceat``/``at``
@@ -165,29 +363,202 @@ def _check_dense(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
     return b
 
 
-def segment_spmm_like(
-    a: CSRMatrix, b: np.ndarray, semiring: Semiring
-) -> np.ndarray:
-    """SpMM-like execution as gather + segmented reduce.
-
-    Requires a semiring whose ``reduce`` maps to a ufunc
-    (:func:`reduce_ufunc`); callers with user-defined reductions use
-    :func:`scatter_oracle_spmm_like`.
-    """
+def _require_ufunc(semiring: Semiring) -> np.ufunc:
     ufunc = reduce_ufunc(semiring)
     if ufunc is None:
         raise NotImplementedError(
             f"semiring {semiring.name!r} has no reduceat-capable reduction; "
             "use scatter_oracle_spmm_like"
         )
-    b = _check_dense(a, b)
-    m = a.nrows
+    return ufunc
+
+
+def _prepare_out(
+    a: CSRMatrix, n: int, init: float, out: Optional[np.ndarray]
+) -> np.ndarray:
+    if out is None:
+        return np.full((a.nrows, n), init, dtype=VALUE_DTYPE)
+    if out.shape != (a.nrows, n) or out.dtype != VALUE_DTYPE:
+        raise ValueError(
+            f"out buffer must be float32[{a.nrows}, {n}], "
+            f"got {out.dtype}[{out.shape}]"
+        )
+    out.fill(init)
+    return out
+
+
+def _nonempty_starts(a: CSRMatrix) -> Tuple[np.ndarray, np.ndarray]:
+    """(nonempty-row mask, their segment starts) — the shared traversal
+    state every tile of every operand reuses."""
+    rowptr = a.rowptr64()
+    starts = rowptr[:-1]
+    nonempty = rowptr[1:] > starts
+    return nonempty, starts[nonempty]
+
+
+def _tiled_spmm_into(
+    a: CSRMatrix,
+    b: np.ndarray,
+    semiring: Semiring,
+    ufunc: np.ufunc,
+    out: np.ndarray,
+    tile: int,
+    ws: np.ndarray,
+    bt: Optional[np.ndarray],
+    nonempty: np.ndarray,
+    ne_starts: np.ndarray,
+) -> None:
+    """One tiled gather + combine + reduceat traversal into ``out``.
+
+    ``ws`` is the pooled ``(nnz, tile)`` workspace (flat), ``bt`` the
+    pooled operand-tile buffer (flat; None when a single tile covers the
+    whole operand, in which case the gather reads ``b`` directly).  Each
+    tile's reduction touches only its own columns, so the result is
+    bit-identical to the untiled path.
+    """
+    nnz = a.nnz
     n = b.shape[1]
-    out = np.full((m, n), semiring.init, dtype=VALUE_DTYPE)
+    idx = a.colind64()
+    vals = a.values[:, None]
+    reg = obs.get_registry()
+    reg.counter("segment.reduce_calls", op=ufunc.__name__).inc()
+    if not ne_starts.size:
+        return
+    for lo in range(0, n, tile):
+        w = min(tile, n - lo)
+        if bt is None:
+            src = b  # single tile spanning the full width: gather in place
+        else:
+            src = bt[: a.ncols * w].reshape(a.ncols, w)
+            np.copyto(src, b[:, lo : lo + w])
+        wsv = ws[: nnz * w].reshape(nnz, w)
+        # mode="clip" keeps np.take unbuffered (indices are validated at
+        # construction, so clipping never actually fires).
+        np.take(src, idx, axis=0, out=wsv, mode="clip")
+        semiring.combine_into(vals, wsv, wsv)
+        out[nonempty, lo : lo + w] = ufunc.reduceat(wsv, ne_starts, axis=0)
+        reg.counter("segment.tiles", op=ufunc.__name__).inc()
+
+
+def _untiled_spmm_like(
+    a: CSRMatrix,
+    b: np.ndarray,
+    semiring: Semiring,
+    ufunc: np.ufunc,
+    out: np.ndarray,
+) -> np.ndarray:
+    """The pre-tiling engine body: one O(nnz·N) contributions temporary,
+    one full-width ``reduceat``.  Kept as the tiled executor's parity
+    oracle and reachable via ``set_tiling(False)``."""
     if a.nnz:
         contributions = semiring.combine(a.values[:, None], b[a.colind64()])
         segment_reduce(contributions, a.rowptr, ufunc, semiring.init, out=out)
-    return semiring.finalize(out, a.row_lengths()).astype(VALUE_DTYPE)
+    return semiring.finalize_into(out, a.row_lengths())
+
+
+def segment_spmm_like(
+    a: CSRMatrix,
+    b: np.ndarray,
+    semiring: Semiring,
+    out: Optional[np.ndarray] = None,
+    tile_width: Optional[int] = None,
+) -> np.ndarray:
+    """SpMM-like execution as gather + segmented reduce.
+
+    Runs the column-tiled, workspace-pooled executor by default (peak
+    transient memory O(nnz·T), bit-identical to the untiled path); pass
+    ``tile_width`` to override the adaptive width for this call, or
+    disable tiling process-wide with :func:`set_tiling`.  ``out`` (a
+    float32 ``(M, N)`` buffer) lets callers reuse output storage across
+    calls — the serving layer's steady state.
+
+    Requires a semiring whose ``reduce`` maps to a ufunc
+    (:func:`reduce_ufunc`); callers with user-defined reductions use
+    :func:`scatter_oracle_spmm_like`.
+    """
+    ufunc = _require_ufunc(semiring)
+    b = _check_dense(a, b)
+    n = b.shape[1]
+    out = _prepare_out(a, n, semiring.init, out)
+    if not _TILING_ENABLED:
+        return _untiled_spmm_like(a, b, semiring, ufunc, out)
+    if a.nnz and n:
+        tile = tile_width_for(a.nnz, n) if tile_width is None else max(1, min(int(tile_width), n))
+        nonempty, ne_starts = _nonempty_starts(a)
+        ws = _POOL.acquire(a.nnz * tile)
+        bt = _POOL.acquire(a.ncols * tile) if tile < n else None
+        try:
+            _tiled_spmm_into(
+                a, b, semiring, ufunc, out, tile, ws, bt, nonempty, ne_starts
+            )
+        finally:
+            if bt is not None:
+                _POOL.release(bt)
+            _POOL.release(ws)
+    return semiring.finalize_into(out, a.row_lengths())
+
+
+def segment_spmm_like_multi(
+    a: CSRMatrix,
+    bs: Sequence[np.ndarray],
+    semiring: Semiring,
+    outs: Optional[Sequence[Optional[np.ndarray]]] = None,
+    tile_width: Optional[int] = None,
+) -> List[np.ndarray]:
+    """K same-graph SpMM-like executions through one shared traversal.
+
+    The feature-width-batching primitive for multi-tenant serving: all
+    operands share the cached gather indices, the nonempty-row segment
+    starts, and **one** pooled workspace acquisition (the tile loop
+    reuses the same buffers operand after operand), so coalescing K
+    requests costs one gather's worth of ``segment.workspace.allocs``
+    instead of K.  Operand widths may differ.  Each output is
+    byte-identical to the corresponding ``segment_spmm_like`` call.
+    """
+    ufunc = _require_ufunc(semiring)
+    bs = [_check_dense(a, b) for b in bs]
+    if outs is None:
+        outs = [None] * len(bs)
+    if len(outs) != len(bs):
+        raise ValueError(f"{len(bs)} operands but {len(outs)} output buffers")
+    results = [
+        _prepare_out(a, b.shape[1], semiring.init, o) for b, o in zip(bs, outs)
+    ]
+    if not bs:
+        return results
+    obs.get_registry().counter("segment.multi_calls", operands=len(bs)).inc()
+    if not _TILING_ENABLED:
+        for b, out in zip(bs, results):
+            _untiled_spmm_like(a, b, semiring, ufunc, out)
+        return results
+    n_max = max(b.shape[1] for b in bs)
+    if a.nnz and n_max:
+        tile_max = (
+            tile_width_for(a.nnz, n_max)
+            if tile_width is None
+            else max(1, min(int(tile_width), n_max))
+        )
+        nonempty, ne_starts = _nonempty_starts(a)
+        ws = _POOL.acquire(a.nnz * tile_max)
+        bt = _POOL.acquire(a.ncols * tile_max) if tile_max < n_max else None
+        try:
+            for b, out in zip(bs, results):
+                n = b.shape[1]
+                if not n:
+                    continue
+                tile = min(tile_max, n)
+                # A full-width tile gathers straight from the operand.
+                op_bt = bt if tile < n else None
+                _tiled_spmm_into(
+                    a, b, semiring, ufunc, out, tile, ws, op_bt, nonempty, ne_starts
+                )
+        finally:
+            if bt is not None:
+                _POOL.release(bt)
+            _POOL.release(ws)
+    for out in results:
+        semiring.finalize_into(out, a.row_lengths())
+    return results
 
 
 def scatter_oracle_spmm_like(
@@ -283,18 +654,87 @@ def _sparse_nonzero(hits: np.ndarray):
     segment* (the argmax hit mask): prefilter rows by viewing each
     8-byte run of bools as one uint64, so the full-width scan only
     touches the ≈``M/nnz`` fraction of rows that contain a hit.
-    Falls back to plain ``np.nonzero`` when the view doesn't apply.
-    Row-major result order (ascending row index) is preserved — the
-    first-occurrence semantics of the caller's ``np.unique`` depend
-    on it."""
+    Widths that are not a multiple of 8 (or non-contiguous masks) are
+    zero-padded into an 8-aligned copy first — an O(rows·n) byte copy,
+    still far cheaper than the full ``np.nonzero`` scan — so common
+    widths like 100 keep the prefilter.  Only degenerate inputs fall
+    back to plain ``np.nonzero``, counted as
+    ``segment.sparse_nonzero.fallbacks``.  Row-major result order
+    (ascending row index) is preserved — the first-occurrence semantics
+    of the caller's ``np.unique`` depend on it."""
+    if hits.ndim != 2 or hits.dtype != np.bool_ or 0 in hits.shape:
+        obs.get_registry().counter("segment.sparse_nonzero.fallbacks").inc()
+        return np.nonzero(hits)
     n = hits.shape[1]
     if not hits.flags.c_contiguous or n % 8 != 0:
-        return np.nonzero(hits)
-    words = hits.view(np.uint64)
+        obs.get_registry().counter("segment.sparse_nonzero.pads").inc()
+        aligned = np.zeros((hits.shape[0], -(-n // 8) * 8), dtype=np.bool_)
+        aligned[:, :n] = hits
+    else:
+        aligned = hits
+    words = aligned.view(np.uint64)
     if words.shape[1] == 1:
         row_any = words.ravel() != 0
     else:
         row_any = np.bitwise_or.reduce(words, axis=1) != 0
     cand = np.flatnonzero(row_any)
+    # Scan the original-width mask so padded columns can never leak.
     sub_pos, sub_col = np.nonzero(hits[cand])
     return cand[sub_pos], sub_col
+
+
+def segment_max_with_argmax(
+    a: CSRMatrix, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max-times forward and its argmax in one tiled traversal.
+
+    The ``aggregate_max`` hot path: per column tile, gather + scale the
+    contributions inside the pooled workspace, ``maximum.reduceat`` them
+    into the output slice, and resolve that tile's first-maximizer
+    indices while the workspace is still hot — so the full ``(nnz, N)``
+    contributions array is never materialized.  Returns
+    ``(out, argmax)`` where ``out`` is the raw max-times output (empty
+    rows hold ``-inf``) and ``argmax`` the int32 winner positions of
+    :func:`segment_argmax`.  Bit-identical to the untiled two-pass
+    computation: tiles never split a row's reduction, and the argmax is
+    resolved per column independently.
+    """
+    b = _check_dense(a, b)
+    m, n = a.nrows, b.shape[1]
+    out = np.full((m, n), -np.inf, dtype=VALUE_DTYPE)
+    argmax = np.full((m, n), -1, dtype=np.int32)
+    if not (a.nnz and n):
+        return out, argmax
+    if not _TILING_ENABLED:
+        contributions = a.values[:, None] * b[a.colind64()]
+        segment_reduce(contributions, a.rowptr, np.maximum, -np.inf, out=out)
+        return out, segment_argmax(a, contributions, row_max=out)
+    tile = tile_width_for(a.nnz, n)
+    nonempty, ne_starts = _nonempty_starts(a)
+    idx = a.colind64()
+    vals = a.values[:, None]
+    reg = obs.get_registry()
+    reg.counter("segment.reduce_calls", op="maximum").inc()
+    ws = _POOL.acquire(a.nnz * tile)
+    bt = _POOL.acquire(a.ncols * tile) if tile < n else None
+    try:
+        for lo in range(0, n, tile):
+            w = min(tile, n - lo)
+            if bt is None:
+                src = b
+            else:
+                src = bt[: a.ncols * w].reshape(a.ncols, w)
+                np.copyto(src, b[:, lo : lo + w])
+            wsv = ws[: a.nnz * w].reshape(a.nnz, w)
+            np.take(src, idx, axis=0, out=wsv, mode="clip")
+            np.multiply(vals, wsv, out=wsv)
+            out_slice = out[:, lo : lo + w]
+            if ne_starts.size:
+                out_slice[nonempty] = np.maximum.reduceat(wsv, ne_starts, axis=0)
+            argmax[:, lo : lo + w] = segment_argmax(a, wsv, row_max=out_slice)
+            reg.counter("segment.tiles", op="maximum").inc()
+    finally:
+        if bt is not None:
+            _POOL.release(bt)
+        _POOL.release(ws)
+    return out, argmax

@@ -76,6 +76,58 @@ class TestLayers:
         out = layer(backend, GraphPair(tiny.graph), Tensor(tiny.features))
         assert (out.data >= 0).all()
 
+    @pytest.mark.parametrize("out_dim", [4, 32], ids=["shrink", "widen"])
+    def test_gcn_orders_projection_by_width(self, tiny, rng, out_dim):
+        """A_hat (X W) == (A_hat X) W: the layer must aggregate at the
+        narrower of in/out width (charging less to the device ledger)
+        while staying allclose to the other ordering."""
+
+        class _WidthRecordingBackend(DGLBackend):
+            def __init__(self, device):
+                super().__init__(device, use_gespmm=True)
+                self.widths = []
+
+            def aggregate(self, g, x, op="sum"):
+                self.widths.append(x.data.shape[1])
+                return super().aggregate(g, x, op)
+
+        in_dim = tiny.feature_dim
+        layer = GCNLayer(in_dim, out_dim, rng, activation=False)
+        g = GraphPair(tiny.graph)
+        backend = _WidthRecordingBackend(SimDevice(GTX_1080TI))
+        out = layer(backend, g, Tensor(tiny.features))
+
+        # The SpMM always runs at the narrower width.
+        assert backend.widths == [min(in_dim, out_dim)]
+
+        # Both orderings agree numerically (associativity of A_hat X W).
+        from repro.sparse import reference_spmm_like
+
+        a_hat = g.sym_normalized_with_loops().adj
+        project_first = reference_spmm_like(a_hat, tiny.features @ layer.w.data)
+        aggregate_first = reference_spmm_like(a_hat, tiny.features) @ layer.w.data
+        np.testing.assert_allclose(project_first, aggregate_first, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(out.data, aggregate_first, rtol=1e-4, atol=1e-5)
+
+    def test_gcn_shrinking_layer_charges_less_spmm_time(self, tiny, rng):
+        """The width-aware ordering's ledger effect: a 12->4 layer must
+        record strictly less simulated SpMM time than the same forward
+        forced through the aggregate-at-input-width ordering."""
+        from repro.gnn import functional as F
+
+        layer = GCNLayer(tiny.feature_dim, 4, rng, activation=False)
+        g = GraphPair(tiny.graph)
+
+        dev_layer = SimDevice(GTX_1080TI)
+        layer(DGLBackend(dev_layer, use_gespmm=True), g, Tensor(tiny.features))
+
+        dev_wide = SimDevice(GTX_1080TI)
+        wide_backend = DGLBackend(dev_wide, use_gespmm=True)
+        h = wide_backend.aggregate(g.sym_normalized_with_loops(), Tensor(tiny.features))
+        F.matmul(h, layer.w, dev_wide)
+
+        assert dev_layer.profile().time("SpMM") < dev_wide.profile().time("SpMM")
+
 
 class TestModels:
     def test_gcn_layer_count(self, tiny, rng):
